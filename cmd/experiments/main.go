@@ -1,0 +1,208 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–IV, Figures 2 and 4–8, and the §V training-budget
+// accounting) from the simulated datasets. Results are printed and written
+// to <out>/<experiment>.txt.
+//
+// Usage:
+//
+//	experiments -cache results/cache -out results -scale mid            # everything
+//	experiments -only table4a,fig4                                      # a subset
+//
+// Datasets are loaded from the cache directory and generated on demand
+// (generation is the expensive step; use cmd/mpicollbench to run it
+// separately / incrementally).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/eval"
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+)
+
+// expCtx carries shared lazily-loaded state across experiments.
+type expCtx struct {
+	cacheDir string
+	scale    dataset.Scale
+	learners []string
+
+	datasets map[string]*dataset.Dataset
+	machines map[string]machine.Machine
+	sets     map[string]*mpilib.CollectiveSet
+	evals    map[string]*eval.Evaluation
+}
+
+func newCtx(cacheDir string, scale dataset.Scale, learners []string) *expCtx {
+	return &expCtx{
+		cacheDir: cacheDir,
+		scale:    scale,
+		learners: learners,
+		datasets: map[string]*dataset.Dataset{},
+		machines: map[string]machine.Machine{},
+		sets:     map[string]*mpilib.CollectiveSet{},
+		evals:    map[string]*eval.Evaluation{},
+	}
+}
+
+// dataset returns the named dataset, loading or generating it once.
+func (c *expCtx) dataset(name string) (*dataset.Dataset, error) {
+	if d, ok := c.datasets[name]; ok {
+		return d, nil
+	}
+	progress := func(done, total int) {
+		if done%5000 < 40 {
+			fmt.Fprintf(os.Stderr, "\r  generating %s: %d/%d ", name, done, total)
+		}
+	}
+	d, err := dataset.LoadOrGenerate(c.cacheDir, name, c.scale, progress)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "\r%-50s\r", "")
+	c.datasets[name] = d
+	return d, nil
+}
+
+// resolved returns the machine and (memoized) collective set of a dataset.
+// Sharing the set across experiments reuses the Intel profile's expensive
+// tuned-decision table.
+func (c *expCtx) resolved(d *dataset.Dataset) (machine.Machine, *mpilib.CollectiveSet, error) {
+	key := d.Spec.Name
+	if s, ok := c.sets[key]; ok {
+		return c.machines[key], s, nil
+	}
+	mach, set, err := d.Spec.Resolve()
+	if err != nil {
+		return machine.Machine{}, nil, err
+	}
+	c.machines[key] = mach
+	c.sets[key] = set
+	return mach, set, nil
+}
+
+// evaluation trains/evaluates one (dataset, learner, split-variant) and
+// memoizes the result (Table IV and the figures share selectors).
+func (c *expCtx) evaluation(dsName, learner, variant string) (*eval.Evaluation, error) {
+	key := dsName + "/" + learner + "/" + variant
+	if e, ok := c.evals[key]; ok {
+		return e, nil
+	}
+	d, err := c.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	mach, set, err := c.resolved(d)
+	if err != nil {
+		return nil, err
+	}
+	split, err := eval.SplitFor(d.Spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	trainNodes, err := split.TrainNodes(variant)
+	if err != nil {
+		return nil, err
+	}
+	e, err := eval.Evaluate(d, mach, set, learner, trainNodes, split.Test)
+	if err != nil {
+		return nil, err
+	}
+	c.evals[key] = e
+	return e, nil
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(c *expCtx) (string, error)
+}
+
+func experimentsList() []experiment {
+	return []experiment{
+		{"table1", "Hardware overview (paper Table I)", runTable1},
+		{"table2", "Dataset overview d1-d8 (paper Table II)", runTable2},
+		{"table3", "Training and test splits (paper Table III)", runTable3},
+		{"table4a", "Prediction quality, large training set (paper Table IVa)", runTable4a},
+		{"table4b", "Prediction quality, small training set (paper Table IVb)", runTable4b},
+		{"fig2", "Chain-bcast speedup over linear, 32x32 Hydra (paper Fig. 2)", runFig2},
+		{"fig4", "Bcast strategies, Open MPI, Hydra (paper Fig. 4)", runFig4},
+		{"fig5", "Predicted algorithm map per learner (paper Fig. 5)", runFig5},
+		{"fig6", "Allreduce strategies, Intel MPI, Hydra (paper Fig. 6)", runFig6},
+		{"fig7", "Allreduce strategies, Open MPI, Jupiter (paper Fig. 7)", runFig7},
+		{"fig8", "Bcast strategies, Open MPI, SuperMUC-NG (paper Fig. 8)", runFig8},
+		{"budget", "Benchmark-budget accounting (paper SecV)", runBudget},
+		{"ablation", "Learner ablation: rejected learners vs the paper's three", runAblation},
+		{"strategies", "Selection-strategy ablation: paper vs rejected strategies (SecIII-A)", runStrategies},
+		{"modelerr", "Regression-model error metrics (MAE/RMSE/MAPE)", runModelErr},
+		{"importance", "Permutation feature importance", runImportance},
+		{"crossval", "K-fold cross-validation by node count (SecV)", runCrossVal},
+		{"placement", "Block vs cyclic rank placement changes the best algorithm (SecI)", runPlacement},
+	}
+}
+
+func main() {
+	var (
+		cacheFlag = flag.String("cache", "results/cache", "dataset cache directory")
+		outFlag   = flag.String("out", "results", "output directory for text artifacts")
+		scaleFlag = flag.String("scale", "mid", "dataset scale: smoke, mid, full")
+		onlyFlag  = flag.String("only", "", "comma-separated subset of experiments (default: all)")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := experimentsList()
+	if *listFlag {
+		for _, e := range all {
+			fmt.Printf("%-9s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, n := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx := newCtx(*cacheFlag, dataset.Scale(*scaleFlag), []string{"knn", "gam", "xgboost"})
+
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
+			failed++
+			continue
+		}
+		header := fmt.Sprintf("== %s: %s ==\n(scale %s, generated %s)\n\n",
+			e.name, e.desc, *scaleFlag, time.Now().Format(time.RFC3339))
+		text := header + out
+		path := filepath.Join(*outFlag, e.name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Println(text)
+		fmt.Fprintf(os.Stderr, "[%s done in %v -> %s]\n\n", e.name, time.Since(start).Round(time.Millisecond), path)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command mpicollbench is the benchmark step of the framework: it measures
+// every algorithm configuration of a library's collective over the full
+// instance grid of one of the paper's datasets (Table II, d1–d8) and caches
+// the result as CSV.
+//
+// Usage:
+//
+//	mpicollbench -dataset d1 -scale mid -cache results/cache
+//	mpicollbench -dataset all -scale mid -cache results/cache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mpicollpred/internal/dataset"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "all", "dataset to generate (d1..d8, or 'all')")
+		scale   = flag.String("scale", "mid", "grid scale: smoke, mid, or full")
+		cache   = flag.String("cache", "results/cache", "cache directory for generated datasets")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		listAll = flag.Bool("list", false, "list dataset specs and exit")
+	)
+	flag.Parse()
+
+	sc := dataset.Scale(*scale)
+	specs := dataset.Specs(sc)
+
+	if *listAll {
+		fmt.Printf("%-4s %-10s %-10s %-12s %6s %5s %8s\n",
+			"name", "library", "collective", "machine", "#nodes", "#ppn", "#msizes")
+		for _, s := range specs {
+			fmt.Printf("%-4s %-10s %-10s %-12s %6d %5d %8d\n",
+				s.Name, s.Lib, s.Coll, s.Machine, len(s.Nodes), len(s.PPNs), len(s.Msizes))
+		}
+		return
+	}
+
+	var names []string
+	if *name == "all" {
+		for _, s := range specs {
+			names = append(names, s.Name)
+		}
+	} else {
+		names = []string{*name}
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		progress := func(done, total int) {
+			if !*quiet && done%2000 < 40 {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d measurements (%.0f%%) ", n, done, total,
+					100*float64(done)/float64(total))
+			}
+		}
+		d, err := dataset.LoadOrGenerate(*cache, n, sc, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nmpicollbench: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+		}
+		fmt.Printf("%s: %d samples, %.1f simulated benchmark seconds, wall %v\n",
+			n, len(d.Samples), d.Consumed, time.Since(start).Round(time.Second))
+	}
+}

@@ -1,0 +1,97 @@
+// Command mpicolltune is the tuning step of the framework: it trains the
+// per-configuration regression models on a benchmark dataset and answers
+// queries for unseen allocations — either as a one-off prediction or as a
+// tuning file for a SLURM-style job allocation (the paper's deployment
+// workflow).
+//
+// Usage:
+//
+//	mpicolltune -dataset d1 -learner gam -nodes 27 -ppn 16 -msize 65536
+//	mpicolltune -dataset d1 -learner xgboost -nodes 34 -ppn 32 -tuning-file
+//	mpicolltune -dataset d2 -learner knn -nodes 27 -ppn 16 -msize 4096 -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpicollpred/internal/core"
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/eval"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "d1", "training dataset (d1..d8)")
+		scale   = flag.String("scale", "mid", "dataset scale: smoke, mid, full")
+		cache   = flag.String("cache", "results/cache", "dataset cache directory")
+		learner = flag.String("learner", "gam", "regression learner: knn, gam, xgboost, rf, linear")
+		nodes   = flag.Int("nodes", 0, "number of compute nodes of the target allocation")
+		ppn     = flag.Int("ppn", 0, "processes per node of the target allocation")
+		msize   = flag.Int64("msize", 0, "message size in bytes (single prediction)")
+		top     = flag.Int("top", 1, "show the top-k predicted configurations")
+		tuning  = flag.Bool("tuning-file", false, "emit a tuning rules file over the standard message sizes")
+		train   = flag.String("train-nodes", "", "comma-separated training node counts (default: the machine's full Table III split)")
+	)
+	flag.Parse()
+
+	if *nodes <= 0 || *ppn <= 0 {
+		fmt.Fprintln(os.Stderr, "mpicolltune: -nodes and -ppn are required")
+		os.Exit(2)
+	}
+
+	ds, err := dataset.LoadOrGenerate(*cache, *dsName, dataset.Scale(*scale), nil)
+	fail(err)
+	_, set, err := ds.Spec.Resolve()
+	fail(err)
+
+	var trainNodes []int
+	if *train != "" {
+		for _, part := range strings.Split(*train, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			fail(err)
+			trainNodes = append(trainNodes, n)
+		}
+	} else {
+		split, err := eval.SplitFor(ds.Spec.Machine)
+		fail(err)
+		trainNodes = split.Full
+	}
+
+	sel, err := core.Train(ds, set, *learner, trainNodes)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "trained %s on %s (%d configurations, nodes %v)\n",
+		*learner, *dsName, len(sel.Configs()), trainNodes)
+
+	if *tuning {
+		fmt.Print(sel.TuningFile(*nodes, *ppn, ds.Spec.Msizes))
+		return
+	}
+	if *msize <= 0 {
+		fmt.Fprintln(os.Stderr, "mpicolltune: provide -msize for a prediction or -tuning-file for a rules file")
+		os.Exit(2)
+	}
+	preds := sel.PredictAll(*nodes, *ppn, *msize)
+	if *top < 1 {
+		*top = 1
+	}
+	if *top > len(preds) {
+		*top = len(preds)
+	}
+	fmt.Printf("%s, %d x %d processes, %d bytes:\n", ds.Spec.Coll, *nodes, *ppn, *msize)
+	for i := 0; i < *top; i++ {
+		p := preds[i]
+		fmt.Printf("  %d. alg %-2d config %-3d %-32s predicted %.6gs\n",
+			i+1, p.AlgID, p.ConfigID, p.Label, p.Predicted)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpicolltune: %v\n", err)
+		os.Exit(1)
+	}
+}

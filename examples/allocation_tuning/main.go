@@ -1,0 +1,53 @@
+// allocation_tuning demonstrates the paper's deployment workflow with a
+// SLURM-style batch job: the benchmark and tuning steps ran offline; when a
+// job allocation becomes known (nodes x ppn), the trained models are
+// queried for a handful of message sizes and a tuning rules file is written,
+// to be loaded by the MPI library at application start.
+//
+// Run with: go run ./examples/allocation_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollpred/internal/bench"
+	"mpicollpred/internal/core"
+	"mpicollpred/internal/dataset"
+)
+
+func main() {
+	// Offline: benchmark the allreduce portfolio on the node counts a
+	// site typically reserves for tuning runs.
+	spec, err := dataset.SpecByName("d2", dataset.ScaleSmoke)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Nodes = []int{2, 4, 8}
+	spec.PPNs = []int{1, 2, 4}
+	spec.Msizes = []int64{16, 256, 4096, 65536, 1048576}
+	fmt.Println("offline: benchmarking allreduce portfolio on tuning allocations {2,4,8} nodes...")
+	ds, err := dataset.Generate(spec, bench.Options{MaxReps: 3, MaxTime: 1, SyncJitter: 3e-7}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, set, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("offline: fitting one XGBoost model per algorithm configuration...")
+	sel, err := core.Train(ds, set, "xgboost", spec.Nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Job submission time: SLURM grants an allocation that was never
+	// benchmarked (the paper's 34x32 scenario, scaled down: 7 nodes).
+	const jobNodes, jobPPN = 7, 4
+	fmt.Printf("\njob allocated: %d nodes x %d ppn -> writing tuning rules file:\n\n", jobNodes, jobPPN)
+	fmt.Print(sel.TuningFile(jobNodes, jobPPN, spec.Msizes))
+
+	fmt.Println("\nthe file maps message-size thresholds to algorithm/configuration ids and is")
+	fmt.Println("loaded at MPI_Init, overriding the library's hard-coded decision logic.")
+}

@@ -1,0 +1,65 @@
+// bcast_tuning reproduces the motivation of the paper's Fig. 2 as a
+// stand-alone study: how much do the chain broadcast's algorithmic
+// parameters (segment size, number of chains) matter, compared to the
+// basic linear broadcast?
+//
+// It sweeps the parameter grid by direct simulation on the Hydra profile
+// and prints the speedup matrix for a large allocation.
+//
+// Run with: go run ./examples/bcast_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollpred/internal/coll"
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/sim"
+)
+
+func main() {
+	mach := machine.Hydra()
+	topo, err := mach.Topo(16, 16) // 256 processes
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	msizes := []int64{4096, 65536, 1048576, 4194304}
+	segs := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
+	chains := []int{2, 4, 8, 16}
+
+	linear := mpilib.Config{ID: 1, AlgID: 1, Name: "basic_linear", Gen: coll.BcastLinear}
+	fmt.Printf("chain-broadcast speedup over linear broadcast, %d x %d processes, %s profile\n\n",
+		topo.Nodes, topo.PPN, mach.Name)
+
+	for _, m := range msizes {
+		linT, err := mpilib.SimulateOnce(eng, linear, mach.Net, topo, m, 42, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("message size %d bytes (linear: %.4gs)\n", m, linT)
+		fmt.Printf("  %-10s", "seg\\chains")
+		for _, ch := range chains {
+			fmt.Printf("%8d", ch)
+		}
+		fmt.Println()
+		for _, seg := range segs {
+			fmt.Printf("  %-10d", seg)
+			for _, ch := range chains {
+				cfg := mpilib.Config{ID: 2, AlgID: 2, Name: "chain",
+					Params: coll.Params{Seg: seg, Fanout: ch}, Gen: coll.BcastChain}
+				t, err := mpilib.SimulateOnce(eng, cfg, mach.Net, topo, m, 42, true)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%8.1f", linT/t)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("for large messages the right (segment size, chains) choice is worth an order")
+	fmt.Println("of magnitude - which is why the selector must model algorithmic parameters.")
+}

@@ -1,0 +1,65 @@
+// crosslib compares the two simulated MPI library profiles on the same
+// machine: how good are their *default* decision logics relative to each
+// library's own exhaustive best?
+//
+// It reproduces, in miniature, the paper's observation that the Open MPI
+// fixed rules leave large factors on the table while the Intel-style tuned
+// decision tables are near-optimal.
+//
+// Run with: go run ./examples/crosslib
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/sim"
+)
+
+func main() {
+	mach := machine.Hydra()
+	topo, err := mach.Topo(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	msizes := []int64{16, 1024, 16384, 262144, 4194304}
+
+	fmt.Printf("default decision logic vs exhaustive best, allreduce, %d x %d, %s\n\n",
+		topo.Nodes, topo.PPN, mach.Name)
+	fmt.Printf("%-9s  %-28s %-12s  %-28s %s\n", "msize", "Open MPI default", "(x best)", "Intel MPI default", "(x best)")
+
+	ompi, _ := mpilib.OpenMPI().Collective(mpilib.Allreduce)
+	impi, _ := mpilib.IntelMPI().Collective(mpilib.Allreduce)
+
+	for _, m := range msizes {
+		row := fmt.Sprintf("%-9d", m)
+		for _, set := range []*mpilib.CollectiveSet{ompi, impi} {
+			defID := set.Decide(mach, topo, m)
+			defCfg, err := set.Config(defID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defT, err := mpilib.SimulateOnce(eng, defCfg, mach.Net, topo, m, 7, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := 0.0
+			for _, c := range set.Selectable() {
+				t, err := mpilib.SimulateOnce(eng, c, mach.Net, topo, m, 7, false)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if best == 0 || t < best {
+					best = t
+				}
+			}
+			row += fmt.Sprintf("  %-28s %-12s", defCfg.Label(), fmt.Sprintf("%.2fx", defT/best))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nthe Intel-style tuned table sits close to 1.0x; the Open MPI fixed rules do")
+	fmt.Println("not - that gap is exactly the tuning potential the paper's selector captures.")
+}

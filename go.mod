@@ -1,0 +1,3 @@
+module mpicollpred
+
+go 1.22

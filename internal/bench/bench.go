@@ -1,0 +1,167 @@
+// Package bench is the simulated counterpart of the ReproMPI benchmark used
+// by the paper for the benchmarking step. Its two defining features are
+// reproduced: (1) a configuration is measured for at most MaxReps
+// repetitions OR until a time budget is exhausted, whichever comes first —
+// giving the tuning run a predictable upper bound on its duration; and
+// (2) repetitions start from a synchronized time window, with residual
+// clock-synchronization jitter applied to the per-rank start times.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// Options controls the measurement loop.
+type Options struct {
+	// MaxReps caps the repetitions per configuration (paper: 500).
+	MaxReps int
+	// MaxTime is the simulated-seconds budget per configuration (paper:
+	// 0.5 s on SuperMUC-NG, 1 s on Hydra and Jupiter). <= 0 disables it.
+	MaxTime float64
+	// SyncJitter is the standard deviation of the per-rank start-time
+	// offset left over after clock synchronization (ReproMPI's
+	// window-based scheme achieves microsecond-level residuals).
+	SyncJitter float64
+}
+
+// DefaultOptions mirrors the paper's ReproMPI configuration for the given
+// machine name (0.5 s budget on SuperMUC-NG, 1 s elsewhere).
+func DefaultOptions(machineName string) Options {
+	o := Options{MaxReps: 500, MaxTime: 1.0, SyncJitter: 0.3e-6}
+	if machineName == "SuperMUC-NG" {
+		o.MaxTime = 0.5
+	}
+	return o
+}
+
+// Measurement is the result of benchmarking one configuration on one
+// instance.
+type Measurement struct {
+	Times    []float64 // per-repetition makespans, in seconds
+	Consumed float64   // total simulated time spent, including all reps
+}
+
+// Reps returns the number of repetitions that were run.
+func (m Measurement) Reps() int { return len(m.Times) }
+
+// Median returns the median repetition time, the paper's summary statistic.
+func (m Measurement) Median() float64 {
+	if len(m.Times) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), m.Times...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean repetition time.
+func (m Measurement) Mean() float64 {
+	if len(m.Times) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range m.Times {
+		sum += t
+	}
+	return sum / float64(len(m.Times))
+}
+
+// Min returns the fastest repetition.
+func (m Measurement) Min() float64 {
+	if len(m.Times) == 0 {
+		return 0
+	}
+	min := m.Times[0]
+	for _, t := range m.Times[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Runner executes measurements. It is not safe for concurrent use; create
+// one Runner per goroutine.
+type Runner struct {
+	eng   *sim.Engine
+	opts  Options
+	start []float64
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opts Options) *Runner {
+	if opts.MaxReps < 1 {
+		opts.MaxReps = 1
+	}
+	return &Runner{eng: sim.NewEngine(), opts: opts}
+}
+
+// Measure benchmarks configuration cfg for the instance (topo, m) on the
+// network prm. seed keys all noise deterministically; distinct repetitions
+// derive distinct noise streams from it.
+func (r *Runner) Measure(cfg mpilib.Config, prm netmodel.Params, topo netmodel.Topology, m int64, seed uint64) (Measurement, error) {
+	return r.MeasureCapped(cfg, prm, topo, m, seed, r.opts.MaxReps)
+}
+
+// MeasureCapped is Measure with the repetition count further capped at
+// maxReps (used by the dataset generator, which spends fewer repetitions on
+// expensive large-message instances, exactly what the ReproMPI time budget
+// achieves on real hardware).
+func (r *Runner) MeasureCapped(cfg mpilib.Config, prm netmodel.Params, topo netmodel.Topology, m int64, seed uint64, maxReps int) (Measurement, error) {
+	if maxReps > r.opts.MaxReps {
+		maxReps = r.opts.MaxReps
+	}
+	if maxReps < 1 {
+		maxReps = 1
+	}
+	prog := mpilib.BuildProgram(cfg, topo, m, false)
+	p := topo.P()
+	if cap(r.start) < p {
+		r.start = make([]float64, p)
+	}
+	r.start = r.start[:p]
+
+	var meas Measurement
+	model := netmodel.New(prm, topo, seed, true)
+	for rep := 0; rep < maxReps; rep++ {
+		repSeed := sim.Seed(seed, uint64(rep)+1)
+		model.Reset(repSeed)
+		jrng := sim.NewRNG(sim.Seed(repSeed, 0xA11CE))
+		for i := range r.start {
+			j := jrng.Norm() * r.opts.SyncJitter
+			if j < 0 {
+				j = -j
+			}
+			r.start[i] = j
+		}
+		res, err := r.eng.Run(prog, model, r.start, nil)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("bench %s topo=%dx%d m=%d: %w", cfg.Label(), topo.Nodes, topo.PPN, m, err)
+		}
+		meas.Times = append(meas.Times, res.Time)
+		meas.Consumed += res.Time
+		if r.opts.MaxTime > 0 && meas.Consumed >= r.opts.MaxTime {
+			break
+		}
+	}
+	return meas, nil
+}
+
+// Budget returns the worst-case simulated duration of measuring n
+// configurations under these options — the "upper bound on the duration of
+// the experiments" the paper highlights as essential on shared machines.
+func (o Options) Budget(nConfigs int) float64 {
+	if o.MaxTime <= 0 {
+		return 0
+	}
+	return float64(nConfigs) * o.MaxTime
+}

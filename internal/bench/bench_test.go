@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/netmodel"
+)
+
+func testSetup(t *testing.T) (mpilib.Config, netmodel.Params, netmodel.Topology) {
+	t.Helper()
+	mach := machine.Hydra()
+	s, err := mpilib.OpenMPI().Collective(mpilib.Bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config(1) // basic_linear
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, mach.Net, netmodel.Topology{Nodes: 3, PPN: 4}
+}
+
+func TestMeasureRepCap(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	r := NewRunner(Options{MaxReps: 7, MaxTime: 100, SyncJitter: 1e-7})
+	m, err := r.Measure(cfg, net, topo, 1024, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps() != 7 {
+		t.Errorf("reps = %d, want 7", m.Reps())
+	}
+	if m.Median() <= 0 || m.Min() <= 0 || m.Mean() <= 0 {
+		t.Error("non-positive statistics")
+	}
+	if m.Min() > m.Median() || m.Median() > m.Mean()*3 {
+		t.Errorf("implausible stats: min=%v median=%v mean=%v", m.Min(), m.Median(), m.Mean())
+	}
+}
+
+func TestMeasureTimeBudgetStopsEarly(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	// First find the typical single-rep time, then set a budget of ~3 reps.
+	r := NewRunner(Options{MaxReps: 1, MaxTime: 0, SyncJitter: 1e-7})
+	one, err := r.Measure(cfg, net, topo, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 3 * one.Times[0]
+	r = NewRunner(Options{MaxReps: 500, MaxTime: budget, SyncJitter: 1e-7})
+	m, err := r.Measure(cfg, net, topo, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps() >= 10 {
+		t.Errorf("budget did not stop the loop: %d reps", m.Reps())
+	}
+	if m.Reps() < 1 {
+		t.Error("at least one rep must run")
+	}
+	if m.Consumed < budget && m.Reps() == 500 {
+		t.Error("inconsistent budget accounting")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	r1 := NewRunner(Options{MaxReps: 5, SyncJitter: 1e-7})
+	r2 := NewRunner(Options{MaxReps: 5, SyncJitter: 1e-7})
+	a, err := r1.Measure(cfg, net, topo, 4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.Measure(cfg, net, topo, 4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Fatalf("rep %d differs: %v vs %v", i, a.Times[i], b.Times[i])
+		}
+	}
+	c, err := r1.Measure(cfg, net, topo, 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Times[0] == a.Times[0] {
+		t.Error("different seeds should give different noise")
+	}
+}
+
+func TestRepsVaryUnderNoise(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	r := NewRunner(Options{MaxReps: 8, SyncJitter: 1e-7})
+	m, err := r.Measure(cfg, net, topo, 65536, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allEqual := true
+	for _, tt := range m.Times[1:] {
+		if tt != m.Times[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("repetitions under noise should not be identical")
+	}
+	// But they should be within a plausible noise band.
+	if m.Times[0] <= 0 {
+		t.Fatal("bad time")
+	}
+	spread := (m.Mean() - m.Min()) / m.Mean()
+	if spread < 0 || spread > 0.8 {
+		t.Errorf("noise spread %.2f implausible", spread)
+	}
+}
+
+func TestDefaultOptionsPerMachine(t *testing.T) {
+	if DefaultOptions("SuperMUC-NG").MaxTime != 0.5 {
+		t.Error("SuperMUC-NG budget must be 0.5s")
+	}
+	if DefaultOptions("Hydra").MaxTime != 1.0 {
+		t.Error("Hydra budget must be 1s")
+	}
+	if DefaultOptions("Hydra").MaxReps != 500 {
+		t.Error("rep cap must be 500")
+	}
+}
+
+func TestBudgetUpperBound(t *testing.T) {
+	o := Options{MaxTime: 0.5}
+	// The paper's SuperMUC-NG bound: 23184 measurements * 0.5s ~ 3.2h.
+	if got := o.Budget(23184); math.Abs(got-11592) > 1e-9 {
+		t.Errorf("Budget = %v", got)
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	m := Measurement{Times: []float64{3, 1, 2}}
+	if m.Median() != 2 {
+		t.Errorf("odd median = %v", m.Median())
+	}
+	m = Measurement{Times: []float64{4, 1, 3, 2}}
+	if m.Median() != 2.5 {
+		t.Errorf("even median = %v", m.Median())
+	}
+	if (Measurement{}).Median() != 0 || (Measurement{}).Mean() != 0 || (Measurement{}).Min() != 0 {
+		t.Error("empty measurement stats must be 0")
+	}
+}

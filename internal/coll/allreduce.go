@@ -1,0 +1,667 @@
+package coll
+
+import (
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// Allreduce verification convention: the vector is split into logical
+// blocks (block 0 = whole vector for unsegmented exchange algorithms,
+// block i = reduce-scatter chunk i for chunked algorithms). Rank r initially
+// holds mask 1<<r for every block it owns; at the end every rank must hold
+// the full mask for every block. A rank may only send contribution sets it
+// has already accumulated, so a schedule that drops or invents a
+// contribution fails verification.
+
+func maskOf(r int) uint64 { return 1 << uint(r&63) }
+
+// AllreduceLinear is the basic linear allreduce: every rank sends its full
+// vector to the root, which reduces them one by one and then broadcasts the
+// result linearly. No parameters.
+func AllreduceLinear(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	full := sim.FullMask(p)
+	for r := 1; r < p; r++ {
+		b.Send(r, Root, m, pay1(b, 0, maskOf(r))...)
+		b.Recv(Root, r, m)
+		b.Compute(Root, m)
+	}
+	for r := 1; r < p; r++ {
+		b.Send(Root, r, m, pay1(b, 0, full)...)
+		b.Recv(r, Root, m)
+	}
+}
+
+// AllreduceNonoverlapping is reduce + broadcast over binomial trees: leaves
+// send up the tree with the parent reducing as contributions arrive, then
+// the result is broadcast back down the same tree. No parameters.
+func AllreduceNonoverlapping(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	t := knomialTree(p, 2)
+	reduceTree(b, t, m)
+	full := sim.FullMask(p)
+	for r := 0; r < p; r++ {
+		if t.parent[r] >= 0 {
+			b.Recv(r, t.parent[r], m)
+		}
+		for _, c := range t.children[r] {
+			b.Send(r, c, m, pay1(b, 0, full)...)
+		}
+	}
+}
+
+// reduceTree emits a tree reduction to the root: each rank receives its
+// children's partial results (deepest subtree first), reducing after each,
+// then forwards its accumulated partial to its parent. The contribution
+// masks accumulate subtree by subtree.
+func reduceTree(b *sim.Builder, t tree, m int64) {
+	p := len(t.parent)
+	// Accumulated contribution mask per rank (verification only, but cheap
+	// enough to always compute for p <= 64; irrelevant above).
+	acc := make([]uint64, p)
+	for r := range acc {
+		acc[r] = maskOf(r)
+	}
+	// Post-order: children must have finished their subtree before they
+	// send. Since children have larger ranks in knomial trees, iterating
+	// ranks in descending order sequences the sends correctly.
+	for r := p - 1; r >= 0; r-- {
+		// Receive from children in reverse child order (smallest subtree
+		// first: they finish soonest).
+		for i := len(t.children[r]) - 1; i >= 0; i-- {
+			c := t.children[r][i]
+			b.Recv(r, c, m)
+			b.Compute(r, m)
+			acc[r] |= acc[c]
+		}
+		if t.parent[r] >= 0 {
+			b.Send(r, t.parent[r], m, pay1(b, 0, acc[r])...)
+		}
+	}
+}
+
+// AllreduceRecursiveDoubling is the classic recursive-doubling allreduce
+// with the standard non-power-of-two pre/post phase (the first 2*(p-p2)
+// ranks pair up; even partners retire during the doubling and are refreshed
+// at the end). No parameters.
+func AllreduceRecursiveDoubling(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	full := sim.FullMask(p)
+
+	acc := make([]uint64, p)
+	for r := range acc {
+		acc[r] = maskOf(r)
+	}
+	// vrank[r]: position in the doubling group, or -1 for retired ranks.
+	vrank := make([]int, p)
+	group := make([]int, p2) // group position -> rank
+	for r := 0; r < p; r++ {
+		switch {
+		case r < 2*rem && r%2 == 0:
+			vrank[r] = -1
+		case r < 2*rem:
+			vrank[r] = r / 2
+		default:
+			vrank[r] = r - rem
+		}
+		if vrank[r] >= 0 {
+			group[vrank[r]] = r
+		}
+	}
+
+	// Pre-phase: even ranks of the first 2*rem hand their vector to the
+	// odd neighbour.
+	for e := 0; e < 2*rem; e += 2 {
+		b.Send(e, e+1, m, pay1(b, 0, acc[e])...)
+		b.Recv(e+1, e, m)
+		b.Compute(e+1, m)
+		acc[e+1] |= acc[e]
+	}
+
+	// Doubling over the p2 group members.
+	for dist := 1; dist < p2; dist *= 2 {
+		snap := append([]uint64(nil), acc...)
+		for v := 0; v < p2; v++ {
+			r := group[v]
+			partner := group[v^dist]
+			b.SendRecv(r, partner, m, partner, m, pay1(b, 0, snap[r])...)
+			b.Compute(r, m)
+			acc[r] |= snap[partner]
+		}
+	}
+
+	// Post-phase: odd partners return the final result.
+	for e := 0; e < 2*rem; e += 2 {
+		b.Send(e+1, e, m, pay1(b, 0, full)...)
+		b.Recv(e, e+1, m)
+	}
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce: a p-1 step
+// reduce-scatter ring followed by a p-1 step allgather ring, both moving
+// chunks of ~m/p bytes. No parameters.
+func AllreduceRing(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	allreduceRingSeg(b, topo, m, 0)
+}
+
+// AllreduceSegmentedRing is the ring allreduce with chunk transfers split
+// into segments of Seg bytes (keeping transfers in the eager regime and
+// pipelining the computation). Parameter: Seg.
+func AllreduceSegmentedRing(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	allreduceRingSeg(b, topo, m, prm.Seg)
+}
+
+func allreduceRingSeg(b *sim.Builder, topo netmodel.Topology, m int64, seg int64) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	chunks := chunkSizes(m, p)
+	// acc[c] tracking is per (rank, chunk): mask of contributions.
+	var acc [][]uint64
+	if b.Verify() {
+		acc = make([][]uint64, p)
+		for r := range acc {
+			acc[r] = make([]uint64, p)
+			for c := range acc[r] {
+				acc[r][c] = maskOf(r)
+			}
+		}
+	}
+	// Pre-size the op lists: 2(p-1) steps, each with at most
+	// ceil(maxChunk/seg) send/recv/compute triples per rank.
+	maxChunk := chunks[0]
+	segsPerChunk := 1
+	if seg > 0 && seg < maxChunk {
+		segsPerChunk = int((maxChunk + seg - 1) / seg)
+	}
+	b.Reserve(2 * (p - 1) * segsPerChunk * 3)
+
+	// segAt returns segment i of n bytes split into count pieces of at most
+	// s bytes; segCount the piece count (allocation-free segSizes).
+	segAt := func(n, s int64, i, count int) int64 {
+		if count == 1 {
+			return n
+		}
+		if i < count-1 {
+			return s
+		}
+		return n - s*int64(count-1)
+	}
+	segCount := func(n, s int64) int {
+		if n <= 0 || s <= 0 || s >= n {
+			return 1
+		}
+		return int((n + s - 1) / s)
+	}
+	xfer := func(r, chunk, recvChunk int, gather bool) {
+		dst := (r + 1) % p
+		src := (r - 1 + p) % p
+		var mask uint64
+		if b.Verify() {
+			mask = acc[r][chunk]
+		}
+		// The received chunk can differ in size from the sent one (sizes
+		// differ by up to one byte when p does not divide m), so segment
+		// the two directions independently.
+		ns := segCount(chunks[chunk], seg)
+		nr := segCount(chunks[recvChunk], seg)
+		steps := ns
+		if nr > steps {
+			steps = nr
+		}
+		for i := 0; i < steps; i++ {
+			if i < ns {
+				b.SendNB(r, dst, segAt(chunks[chunk], seg, i, ns), pay1(b, int32(chunk), mask)...)
+			}
+			if i < nr {
+				sz := segAt(chunks[recvChunk], seg, i, nr)
+				b.Recv(r, src, sz)
+				if !gather {
+					b.Compute(r, sz)
+				}
+			}
+		}
+	}
+	// Reduce-scatter: at step s rank r sends chunk (r-s) and accumulates
+	// into chunk (r-1-s).
+	for s := 0; s < p-1; s++ {
+		var snap [][]uint64
+		if b.Verify() {
+			snap = make([][]uint64, p)
+			for r := range snap {
+				snap[r] = append([]uint64(nil), acc[r]...)
+			}
+		}
+		for r := 0; r < p; r++ {
+			xfer(r, (((r-s)%p)+p)%p, (((r-1-s)%p)+p)%p, false)
+		}
+		if b.Verify() {
+			for r := 0; r < p; r++ {
+				c := (((r - 1 - s) % p) + p) % p
+				src := (r - 1 + p) % p
+				acc[r][c] |= snap[src][c]
+			}
+		}
+	}
+	// Allgather: rank r now owns the fully reduced chunk (r+1) mod p.
+	for s := 0; s < p-1; s++ {
+		var snap [][]uint64
+		if b.Verify() {
+			snap = make([][]uint64, p)
+			for r := range snap {
+				snap[r] = append([]uint64(nil), acc[r]...)
+			}
+		}
+		for r := 0; r < p; r++ {
+			xfer(r, (((r+1-s)%p)+p)%p, (((r-s)%p)+p)%p, true)
+		}
+		if b.Verify() {
+			for r := 0; r < p; r++ {
+				c := (((r - s) % p) + p) % p
+				src := (r - 1 + p) % p
+				acc[r][c] |= snap[src][c]
+			}
+		}
+	}
+}
+
+// AllreduceRabenseifner is Rabenseifner's algorithm: recursive-halving
+// reduce-scatter followed by recursive-doubling allgather, with the
+// standard non-power-of-two pre/post phase. No parameters.
+func AllreduceRabenseifner(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+	full := sim.FullMask(p)
+
+	// Pre-phase as in recursive doubling: fold the extras in.
+	acc := make([]uint64, p) // per-rank mask covering its *entire* vector
+	for r := range acc {
+		acc[r] = maskOf(r)
+	}
+	vrank := make([]int, p)
+	group := make([]int, p2)
+	for r := 0; r < p; r++ {
+		switch {
+		case r < 2*rem && r%2 == 0:
+			vrank[r] = -1
+		case r < 2*rem:
+			vrank[r] = r / 2
+		default:
+			vrank[r] = r - rem
+		}
+		if vrank[r] >= 0 {
+			group[vrank[r]] = r
+		}
+	}
+	for e := 0; e < 2*rem; e += 2 {
+		// The pre-phase moves the full vector, i.e. every one of the p2
+		// chunk blocks the later phases operate on.
+		b.Send(e, e+1, m, payAll(b, p2, acc[e])...)
+		b.Recv(e+1, e, m)
+		b.Compute(e+1, m)
+		acc[e+1] |= acc[e]
+	}
+
+	// Recursive halving reduce-scatter over p2 chunks. Chunk masks are
+	// tracked per group member. lo/hi delimit each member's current range.
+	chunks := chunkSizes(m, p2)
+	type span struct{ lo, hi int }
+	cur := make([]span, p2)
+	for v := range cur {
+		cur[v] = span{0, p2}
+	}
+	cmask := make([][]uint64, p2) // per group member, per chunk
+	if b.Verify() {
+		for v := range cmask {
+			cmask[v] = make([]uint64, p2)
+			for c := range cmask[v] {
+				cmask[v][c] = acc[group[v]]
+			}
+		}
+	}
+	payRange := func(v, lo, hi int) []sim.PayUnit {
+		if !b.Verify() {
+			return nil
+		}
+		pay := make([]sim.PayUnit, 0, hi-lo)
+		for c := lo; c < hi; c++ {
+			pay = append(pay, sim.PayUnit{Block: int32(c), Mask: cmask[v][c]})
+		}
+		return pay
+	}
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		snap := cmask
+		if b.Verify() {
+			snap = make([][]uint64, p2)
+			for v := range snap {
+				snap[v] = append([]uint64(nil), cmask[v]...)
+			}
+		}
+		newCur := make([]span, p2)
+		for v := 0; v < p2; v++ {
+			w := v ^ dist
+			mid := (cur[v].lo + cur[v].hi) / 2
+			var keep, give span
+			if v < w {
+				keep, give = span{cur[v].lo, mid}, span{mid, cur[v].hi}
+			} else {
+				keep, give = span{mid, cur[v].hi}, span{cur[v].lo, mid}
+			}
+			sendBytes := sumRange(chunks, give.lo, give.hi)
+			recvBytes := sumRange(chunks, keep.lo, keep.hi)
+			b.SendRecv(group[v], group[w], sendBytes, group[w], recvBytes, payRange(v, give.lo, give.hi)...)
+			b.Compute(group[v], recvBytes)
+			newCur[v] = keep
+		}
+		if b.Verify() {
+			for v := 0; v < p2; v++ {
+				w := v ^ dist
+				for c := newCur[v].lo; c < newCur[v].hi; c++ {
+					cmask[v][c] |= snap[w][c]
+				}
+			}
+		}
+		for v := range cur {
+			cur[v] = newCur[v]
+		}
+	}
+
+	// Recursive doubling allgather: ranges merge back.
+	for dist := 1; dist < p2; dist *= 2 {
+		snapCur := append([]span(nil), cur...)
+		snap := cmask
+		if b.Verify() {
+			snap = make([][]uint64, p2)
+			for v := range snap {
+				snap[v] = append([]uint64(nil), cmask[v]...)
+			}
+		}
+		for v := 0; v < p2; v++ {
+			w := v ^ dist
+			sendBytes := sumRange(chunks, snapCur[v].lo, snapCur[v].hi)
+			recvBytes := sumRange(chunks, snapCur[w].lo, snapCur[w].hi)
+			b.SendRecv(group[v], group[w], sendBytes, group[w], recvBytes, payRange(v, snapCur[v].lo, snapCur[v].hi)...)
+			lo, hi := snapCur[v].lo, snapCur[v].hi
+			if snapCur[w].lo < lo {
+				lo = snapCur[w].lo
+			}
+			if snapCur[w].hi > hi {
+				hi = snapCur[w].hi
+			}
+			cur[v] = span{lo, hi}
+			if b.Verify() {
+				for c := snapCur[w].lo; c < snapCur[w].hi; c++ {
+					cmask[v][c] |= snap[w][c]
+				}
+			}
+		}
+	}
+
+	// Post-phase: odd partners return the final vector to the extras.
+	for e := 0; e < 2*rem; e += 2 {
+		b.Send(e+1, e, m, payAll(b, p2, full)...)
+		b.Recv(e, e+1, m)
+	}
+}
+
+// AllreduceAllgatherReduce gathers every rank's vector to every rank via a
+// ring allgather (p-1 steps of m bytes) and reduces locally: latency-poor
+// and bandwidth-hungry, but embarrassingly simple — the kind of algorithm
+// that wins only for tiny vectors on very few processes. No parameters.
+func AllreduceAllgatherReduce(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	b.Reserve(2*(p-1) + 3)
+	// Step s: rank r forwards the vector that originated at (r-s) mod p.
+	for s := 0; s < p-1; s++ {
+		for r := 0; r < p; r++ {
+			origin := (((r - s) % p) + p) % p
+			b.SendRecv(r, (r+1)%p, m, (r-1+p)%p, m, pay1(b, 0, maskOf(origin))...)
+		}
+	}
+	for r := 0; r < p; r++ {
+		b.Compute(r, int64(p-1)*m)
+	}
+}
+
+// AllreduceKnomial is reduce + broadcast over a k-nomial tree. Parameter:
+// Fanout (radix).
+func AllreduceKnomial(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	radix := prm.Fanout
+	if radix < 2 {
+		radix = 2
+	}
+	t := knomialTree(p, radix)
+	reduceTree(b, t, m)
+	full := sim.FullMask(p)
+	for r := 0; r < p; r++ {
+		if t.parent[r] >= 0 {
+			b.Recv(r, t.parent[r], m)
+		}
+		for _, c := range t.children[r] {
+			b.Send(r, c, m, pay1(b, 0, full)...)
+		}
+	}
+}
+
+// AllreduceHierarchical is the topology-aware two-level allreduce: each node
+// reduces to its leader (binomial within the node), the leaders run an
+// inter-node allreduce (Fanout selects the flavour: 0/1 recursive doubling,
+// 2 ring, 3 Rabenseifner), and the leaders broadcast the result within
+// their nodes. It shines when ppn is large because only one process per
+// node touches the network.
+func AllreduceHierarchical(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	full := sim.FullMask(p)
+	ppn := topo.PPN
+
+	// Intra-node reduce to leader over a binomial tree per node (member
+	// lists keep the schedule correct under any rank placement).
+	members := nodeMembers(topo)
+	nt := knomialTree(ppn, 2)
+	nodeAcc := make([]uint64, topo.Nodes)
+	acc := make([]uint64, p)
+	for r := range acc {
+		acc[r] = maskOf(r)
+	}
+	for node := 0; node < topo.Nodes; node++ {
+		ms := members[node]
+		for lr := len(ms) - 1; lr >= 0; lr-- {
+			r := ms[lr]
+			for i := len(nt.children[lr]) - 1; i >= 0; i-- {
+				c := ms[nt.children[lr][i]]
+				b.Recv(r, c, m)
+				b.Compute(r, m)
+				acc[r] |= acc[c]
+			}
+			if nt.parent[lr] >= 0 {
+				b.Send(r, ms[nt.parent[lr]], m, pay1(b, 0, acc[r])...)
+			}
+		}
+		nodeAcc[node] = acc[ms[0]]
+	}
+
+	// Inter-node allreduce over the leaders.
+	leaders, _ := leadersOf(topo)
+	nl := len(leaders)
+	if nl > 1 {
+		switch prm.Fanout {
+		case 2: // ring over leaders
+			leaderRingAllreduce(b, leaders, m, nodeAcc)
+		case 3: // recursive doubling with halving volumes (Rabenseifner-ish)
+			leaderRecDoubling(b, leaders, m, nodeAcc, true)
+		default:
+			leaderRecDoubling(b, leaders, m, nodeAcc, false)
+		}
+	}
+
+	// Intra-node broadcast from the leaders.
+	for node := 0; node < topo.Nodes; node++ {
+		ms := members[node]
+		for lr := 0; lr < len(ms); lr++ {
+			r := ms[lr]
+			if nt.parent[lr] >= 0 {
+				b.Recv(r, ms[nt.parent[lr]], m)
+			}
+			for _, c := range nt.children[lr] {
+				b.Send(r, ms[c], m, pay1(b, 0, full)...)
+			}
+		}
+	}
+}
+
+// leaderRecDoubling runs a recursive-doubling allreduce over the leader
+// ranks (with the non-power-of-two pre/post phase). When halving is true,
+// exchanged volumes follow the reduce-scatter/allgather pattern (half, then
+// quarter, ...), modelling a Rabenseifner-style leader exchange; payload
+// tracking still treats the vector as one block, which remains sound
+// because contribution sets are identical across the vector.
+func leaderRecDoubling(b *sim.Builder, leaders []int, m int64, nodeAcc []uint64, halving bool) {
+	nl := len(leaders)
+	p2 := 1
+	for p2*2 <= nl {
+		p2 *= 2
+	}
+	rem := nl - p2
+	vleader := make([]int, 0, p2)
+	acc := nodeAcc
+
+	for e := 0; e < 2*rem; e += 2 {
+		b.Send(leaders[e], leaders[e+1], m, pay1(b, 0, acc[e])...)
+		b.Recv(leaders[e+1], leaders[e], m)
+		b.Compute(leaders[e+1], m)
+		acc[e+1] |= acc[e]
+	}
+	for i := 0; i < nl; i++ {
+		if i < 2*rem && i%2 == 0 {
+			continue
+		}
+		vleader = append(vleader, i)
+	}
+
+	vol := m
+	for dist := 1; dist < p2; dist *= 2 {
+		if halving {
+			vol = m / int64(2*dist)
+			if vol < 1 {
+				vol = 1
+			}
+		}
+		snap := append([]uint64(nil), acc...)
+		for v := 0; v < p2; v++ {
+			li := vleader[v]
+			wi := vleader[v^dist]
+			b.SendRecv(leaders[li], leaders[wi], vol, leaders[wi], vol, pay1(b, 0, snap[li])...)
+			b.Compute(leaders[li], vol)
+			acc[li] |= snap[wi]
+		}
+	}
+	if halving {
+		// Allgather the scattered pieces back (doubling volumes).
+		for dist := p2 / 2; dist >= 1; dist /= 2 {
+			vol = m / int64(2*dist)
+			if vol < 1 {
+				vol = 1
+			}
+			snap := append([]uint64(nil), acc...)
+			for v := 0; v < p2; v++ {
+				li := vleader[v]
+				wi := vleader[v^dist]
+				b.SendRecv(leaders[li], leaders[wi], vol, leaders[wi], vol, pay1(b, 0, snap[li])...)
+				acc[li] |= snap[wi]
+			}
+		}
+	}
+	for e := 0; e < 2*rem; e += 2 {
+		b.Send(leaders[e+1], leaders[e], m, pay1(b, 0, acc[e+1])...)
+		b.Recv(leaders[e], leaders[e+1], m)
+		acc[e] |= acc[e+1]
+	}
+}
+
+// leaderRingAllreduce runs a ring allreduce over the leader ranks
+// (reduce-scatter + allgather on chunks of m/#leaders).
+func leaderRingAllreduce(b *sim.Builder, leaders []int, m int64, nodeAcc []uint64) {
+	nl := len(leaders)
+	chunks := chunkSizes(m, nl)
+	acc := make([][]uint64, nl)
+	for i := range acc {
+		acc[i] = make([]uint64, nl)
+		for c := range acc[i] {
+			acc[i][c] = nodeAcc[i]
+		}
+	}
+	for s := 0; s < nl-1; s++ {
+		snap := make([][]uint64, nl)
+		for i := range snap {
+			snap[i] = append([]uint64(nil), acc[i]...)
+		}
+		for i := 0; i < nl; i++ {
+			c := (((i - s) % nl) + nl) % nl
+			b.SendRecv(leaders[i], leaders[(i+1)%nl], chunks[c],
+				leaders[(i-1+nl)%nl], chunks[(((i-1-s)%nl)+nl)%nl],
+				pay1(b, 0, snap[i][c])...)
+			b.Compute(leaders[i], chunks[(((i-1-s)%nl)+nl)%nl])
+		}
+		for i := 0; i < nl; i++ {
+			c := (((i - 1 - s) % nl) + nl) % nl
+			acc[i][c] |= snap[(i-1+nl)%nl][c]
+		}
+	}
+	for s := 0; s < nl-1; s++ {
+		snap := make([][]uint64, nl)
+		for i := range snap {
+			snap[i] = append([]uint64(nil), acc[i]...)
+		}
+		for i := 0; i < nl; i++ {
+			c := (((i + 1 - s) % nl) + nl) % nl
+			b.SendRecv(leaders[i], leaders[(i+1)%nl], chunks[c],
+				leaders[(i-1+nl)%nl], chunks[(((i-s)%nl)+nl)%nl],
+				pay1(b, 0, snap[i][c])...)
+		}
+		for i := 0; i < nl; i++ {
+			c := (((i - s) % nl) + nl) % nl
+			acc[i][c] |= snap[(i-1+nl)%nl][c]
+		}
+	}
+	// Fold the chunk masks into the callers' per-node masks: every leader
+	// now holds the full contribution set.
+	for i := range nodeAcc {
+		m := ^uint64(0)
+		for _, cm := range acc[i] {
+			m &= cm
+		}
+		nodeAcc[i] = m
+	}
+}

@@ -1,0 +1,470 @@
+package coll
+
+import (
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// Broadcast verification convention: logical block s = segment (or chunk) s
+// of the root's buffer, contribution mask 1 (only the root contributes).
+// The root initially holds every block; afterwards every rank must.
+
+// BcastLinear is the basic linear broadcast: the root sends the full
+// message to every other rank, one after another. No parameters.
+func BcastLinear(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	for r := 1; r < p; r++ {
+		b.Send(Root, r, m, pay1(b, 0, 1)...)
+		b.Recv(r, Root, m)
+	}
+}
+
+// BcastChain is the chain (multi-chain pipeline) broadcast: the non-root
+// ranks are split into Fanout contiguous chains; segments flow down each
+// chain, every rank forwarding each segment to its successor. Parameters:
+// Seg (segment size) and Fanout (number of chains, >= 1).
+func BcastChain(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	nchains := prm.Fanout
+	if nchains < 1 {
+		nchains = 1
+	}
+	if nchains > p-1 {
+		nchains = p - 1
+	}
+	segs := segSizes(m, prm.Seg)
+
+	// Contiguous chain split of ranks 1..p-1 (block placement keeps chain
+	// neighbours on the same node where possible).
+	members := p - 1
+	base := members / nchains
+	rem := members % nchains
+	start := 1
+	heads := make([]int, nchains)
+	next := make([]int, p) // successor in chain; -1 for tail
+	prev := make([]int, p) // predecessor; Root for heads
+	for i := range next {
+		next[i] = -1
+		prev[i] = -1
+	}
+	for c := 0; c < nchains; c++ {
+		length := base
+		if c < rem {
+			length++
+		}
+		heads[c] = start
+		prev[start] = Root
+		for i := 0; i < length-1; i++ {
+			next[start+i] = start + i + 1
+			prev[start+i+1] = start + i
+		}
+		start += length
+	}
+
+	b.Reserve(2 * len(segs))
+	for s, sz := range segs {
+		blk := int32(s)
+		// Root injects segment s into every chain.
+		for _, h := range heads {
+			b.Send(Root, h, sz, pay1(b, blk, 1)...)
+		}
+		// Chain members receive and forward.
+		for r := 1; r < p; r++ {
+			b.Recv(r, prev[r], sz)
+			if next[r] >= 0 {
+				b.Send(r, next[r], sz, pay1(b, blk, 1)...)
+			}
+		}
+	}
+}
+
+// BcastPipeline is the single-chain pipelined broadcast. Parameter: Seg.
+func BcastPipeline(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	BcastChain(b, topo, m, Params{Seg: prm.Seg, Fanout: 1})
+}
+
+// bcastTree emits a segmented pipelined broadcast down the given tree:
+// for each segment, every rank receives it from its parent and forwards it
+// to its children (largest subtree first).
+func bcastTree(b *sim.Builder, t tree, m int64, seg int64) {
+	p := len(t.parent)
+	if p <= 1 {
+		return
+	}
+	segs := segSizes(m, seg)
+	b.Reserve(3 * len(segs))
+	for s, sz := range segs {
+		blk := int32(s)
+		for r := 0; r < p; r++ {
+			if t.parent[r] >= 0 {
+				b.Recv(r, t.parent[r], sz)
+			}
+			for _, c := range t.children[r] {
+				b.Send(r, c, sz, pay1(b, blk, 1)...)
+			}
+		}
+	}
+}
+
+// BcastBinomial is the segmented binomial-tree broadcast. Parameter: Seg.
+func BcastBinomial(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	bcastTree(b, knomialTree(topo.P(), 2), m, prm.Seg)
+}
+
+// BcastKnomial is the k-nomial-tree broadcast. Parameters: Fanout (radix,
+// >= 2) and Seg.
+func BcastKnomial(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	radix := prm.Fanout
+	if radix < 2 {
+		radix = 2
+	}
+	bcastTree(b, knomialTree(topo.P(), radix), m, prm.Seg)
+}
+
+// BcastBinary is the segmented binary-tree broadcast. Parameter: Seg.
+func BcastBinary(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	bcastTree(b, binaryTree(topo.P()), m, prm.Seg)
+}
+
+// BcastSplitBinary is the split binary-tree broadcast: the message is split
+// in two halves; the root pipelines the first half down its left subtree and
+// the second half down its right subtree; afterwards ranks from the two
+// subtrees pair up and exchange their halves. Parameter: Seg.
+func BcastSplitBinary(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	t := binaryTree(p)
+	if p == 2 {
+		// Degenerate: plain pipelined send.
+		bcastTree(b, t, m, prm.Seg)
+		return
+	}
+	mA := (m + 1) / 2
+	mB := m - mA
+	// Halves as verification blocks: block 0 = first half, 1 = second.
+	segsA := segSizes(mA, prm.Seg)
+	segsB := segSizes(mB, prm.Seg)
+
+	// Subtree membership: ranks under child 1 get half A, under child 2
+	// half B.
+	side := make([]int, p) // 0 root, 1 = A, 2 = B
+	var mark func(r, s int)
+	mark = func(r, s int) {
+		side[r] = s
+		for _, c := range t.children[r] {
+			mark(c, s)
+		}
+	}
+	mark(1, 1)
+	if p > 2 {
+		mark(2, 2)
+	}
+
+	// Phase 1: pipeline half A down subtree 1 and half B down subtree 2.
+	// Interleave the two pipelines segment by segment at the root.
+	maxSegs := len(segsA)
+	if len(segsB) > maxSegs {
+		maxSegs = len(segsB)
+	}
+	for s := 0; s < maxSegs; s++ {
+		if s < len(segsA) {
+			b.Send(Root, 1, segsA[s], pay1(b, 0, 1)...)
+		}
+		if s < len(segsB) && p > 2 {
+			b.Send(Root, 2, segsB[s], pay1(b, 1, 1)...)
+		}
+	}
+	for r := 1; r < p; r++ {
+		segs, blk := segsA, int32(0)
+		if side[r] == 2 {
+			segs, blk = segsB, int32(1)
+		}
+		for _, sz := range segs {
+			b.Recv(r, t.parent[r], sz)
+			for _, c := range t.children[r] {
+				b.Send(r, c, sz, pay1(b, blk, 1)...)
+			}
+		}
+	}
+
+	// Phase 2: pair ranks across the two subtrees to exchange halves.
+	var as, bs []int
+	for r := 1; r < p; r++ {
+		if side[r] == 1 {
+			as = append(as, r)
+		} else {
+			bs = append(bs, r)
+		}
+	}
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		ra, rb := as[i], bs[i]
+		// ra holds A, needs B; rb holds B, needs A. rb receives first,
+		// then replies: deadlock-free with blocking sends.
+		b.Send(ra, rb, mA, pay1(b, 0, 1)...)
+		b.Recv(rb, ra, mA)
+		b.Send(rb, ra, mB, pay1(b, 1, 1)...)
+		b.Recv(ra, rb, mB)
+	}
+	// Unpaired leftovers get their missing half straight from the root.
+	for i := n; i < len(as); i++ {
+		b.Send(Root, as[i], mB, pay1(b, 1, 1)...)
+		b.Recv(as[i], Root, mB)
+	}
+	for i := n; i < len(bs); i++ {
+		b.Send(Root, bs[i], mA, pay1(b, 0, 1)...)
+		b.Recv(bs[i], Root, mA)
+	}
+}
+
+// scatterBinomial emits a binomial scatter of the p chunks (chunk r for
+// rank r): each parent sends a child the contiguous chunk range of the
+// child's subtree. Verification blocks are chunk indices.
+func scatterBinomial(b *sim.Builder, p int, chunks []int64) {
+	t := knomialTree(p, 2)
+	for r := 0; r < p; r++ {
+		if t.parent[r] >= 0 {
+			b.Recv(r, t.parent[r], sumRange(chunks, r, r+t.span[r]))
+		}
+		for _, c := range t.children[r] {
+			bytes := sumRange(chunks, c, c+t.span[c])
+			var pay []sim.PayUnit
+			if b.Verify() {
+				for i := c; i < c+t.span[c]; i++ {
+					pay = append(pay, sim.PayUnit{Block: int32(i), Mask: 1})
+				}
+			}
+			b.Send(r, c, bytes, pay...)
+		}
+	}
+}
+
+// BcastScatterAllgather is the "scatter + recursive-doubling allgather"
+// broadcast: a binomial scatter distributes chunk r to rank r, then a
+// recursive-doubling allgather (with the standard non-power-of-two
+// pre/post exchange) reassembles the full message everywhere. This is
+// algorithm 8 of Open MPI 4.0.2's broadcast, the one the paper found buggy;
+// our implementation is correct, and the library profile mirrors the
+// paper by excluding it from the tuning search space.
+func BcastScatterAllgather(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	chunks := chunkSizes(m, p)
+	scatterBinomial(b, p, chunks)
+
+	// Non-power-of-two handling: the last p-p2 ranks ("extras") hand their
+	// chunk to a partner in [0, p2), then receive the full result.
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	extras := p - p2
+
+	held := make([][]int, p) // chunk indices currently held per rank
+	for r := 0; r < p; r++ {
+		held[r] = []int{r}
+	}
+	payFor := func(r int) []sim.PayUnit {
+		if !b.Verify() {
+			return nil
+		}
+		pay := make([]sim.PayUnit, 0, len(held[r]))
+		for _, c := range held[r] {
+			pay = append(pay, sim.PayUnit{Block: int32(c), Mask: 1})
+		}
+		return pay
+	}
+	bytesOf := func(r int) int64 {
+		var s int64
+		for _, c := range held[r] {
+			s += chunks[c]
+		}
+		return s
+	}
+
+	for e := 0; e < extras; e++ {
+		src, dst := p2+e, e
+		b.Send(src, dst, bytesOf(src), payFor(src)...)
+		b.Recv(dst, src, bytesOf(src))
+		held[dst] = append(held[dst], held[src]...)
+	}
+
+	// Recursive doubling over ranks [0, p2).
+	for dist := 1; dist < p2; dist *= 2 {
+		// Snapshot holdings: exchanges within a round are concurrent.
+		sendBytes := make([]int64, p2)
+		sendPay := make([][]sim.PayUnit, p2)
+		for r := 0; r < p2; r++ {
+			sendBytes[r] = bytesOf(r)
+			sendPay[r] = payFor(r)
+		}
+		for r := 0; r < p2; r++ {
+			partner := r ^ dist
+			b.SendRecv(r, partner, sendBytes[r], partner, sendBytes[partner], sendPay[r]...)
+		}
+		newHeld := make([][]int, p2)
+		for r := 0; r < p2; r++ {
+			partner := r ^ dist
+			newHeld[r] = append(append([]int{}, held[r]...), held[partner]...)
+		}
+		for r := 0; r < p2; r++ {
+			held[r] = newHeld[r]
+		}
+	}
+
+	// Extras receive the fully assembled message from their partner.
+	if extras > 0 {
+		fullPay := func() []sim.PayUnit {
+			if !b.Verify() {
+				return nil
+			}
+			pay := make([]sim.PayUnit, p)
+			for i := range pay {
+				pay[i] = sim.PayUnit{Block: int32(i), Mask: 1}
+			}
+			return pay
+		}
+		for e := 0; e < extras; e++ {
+			src, dst := e, p2+e
+			b.Send(src, dst, m, fullPay()...)
+			b.Recv(dst, src, m)
+		}
+	}
+}
+
+// BcastScatterRingAllgather is the "scatter + ring allgather" broadcast:
+// binomial scatter followed by a p-1 step ring allgather, the
+// bandwidth-optimal broadcast for very large messages.
+func BcastScatterRingAllgather(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	chunks := chunkSizes(m, p)
+	scatterBinomial(b, p, chunks)
+	// Ring allgather: at step s, rank r sends chunk (r-s mod p) to r+1 and
+	// receives chunk (r-1-s mod p) from r-1.
+	for s := 0; s < p-1; s++ {
+		for r := 0; r < p; r++ {
+			sendChunk := ((r-s)%p + p) % p
+			recvChunk := ((r-1-s)%p + p) % p
+			b.SendRecv(r, (r+1)%p, chunks[sendChunk], (r-1+p)%p, chunks[recvChunk],
+				pay1(b, int32(sendChunk), 1)...)
+		}
+	}
+}
+
+// BcastDoubleTree is the double binary tree broadcast: two binary trees — a
+// primary rooted at rank 0 and a mirrored one rooted at rank p-1 — each
+// pipeline one half of the message, so every link carries roughly half the
+// total volume. The root first ships the second half to the mirror root.
+// Parameter: Seg.
+func BcastDoubleTree(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 2 {
+		BcastBinomial(b, topo, m, prm)
+		return
+	}
+	mA := (m + 1) / 2
+	mB := m - mA
+	t1 := binaryTree(p)
+	// Mirror tree: rank r plays role p-1-r in a binary tree rooted at 0.
+	mirror := func(r int) int { return p - 1 - r }
+
+	// Hand half B to the mirror root.
+	b.Send(Root, mirror(Root), mB, pay1(b, 1, 1)...)
+	b.Recv(mirror(Root), Root, mB)
+
+	segsA := segSizes(mA, prm.Seg)
+	segsB := segSizes(mB, prm.Seg)
+	steps := len(segsA)
+	if len(segsB) > steps {
+		steps = len(segsB)
+	}
+	for s := 0; s < steps; s++ {
+		// Tree 1 moves segment s of half A; tree 2 moves segment s of
+		// half B. Per rank, tree-1 ops precede tree-2 ops within a step,
+		// giving a consistent order across ranks (both trees are DAGs).
+		for r := 0; r < p; r++ {
+			if s < len(segsA) {
+				if t1.parent[r] >= 0 {
+					b.Recv(r, t1.parent[r], segsA[s])
+				}
+				for _, c := range t1.children[r] {
+					b.Send(r, c, segsA[s], pay1(b, 0, 1)...)
+				}
+			}
+			if s < len(segsB) {
+				role := mirror(r)
+				if t1.parent[role] >= 0 {
+					b.Recv(r, mirror(t1.parent[role]), segsB[s])
+				}
+				for _, c := range t1.children[role] {
+					b.Send(r, mirror(c), segsB[s], pay1(b, 1, 1)...)
+				}
+			}
+		}
+	}
+}
+
+// BcastHierarchical is the topology-aware two-level broadcast: an inter-node
+// broadcast over the node leaders (binomial, or k-nomial with the given
+// Fanout) followed by an intra-node broadcast on every node (binomial over
+// the node's ranks). Parameter: Seg segments both levels; Fanout sets the
+// inter-node radix (0/2 = binomial).
+func BcastHierarchical(b *sim.Builder, topo netmodel.Topology, m int64, prm Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	leaders, _ := leadersOf(topo)
+	radix := prm.Fanout
+	if radix < 2 {
+		radix = 2
+	}
+	segs := segSizes(m, prm.Seg)
+
+	// Inter-node phase over leader ranks (leader i = leaders[i]).
+	lt := knomialTree(len(leaders), radix)
+	for s, sz := range segs {
+		blk := int32(s)
+		for li, lr := range leaders {
+			if lt.parent[li] >= 0 {
+				b.Recv(lr, leaders[lt.parent[li]], sz)
+			}
+			for _, c := range lt.children[li] {
+				b.Send(lr, leaders[c], sz, pay1(b, blk, 1)...)
+			}
+		}
+	}
+
+	// Intra-node phase: leader binomial-broadcasts within its node (the
+	// member lists make this correct under any rank placement).
+	members := nodeMembers(topo)
+	nt := knomialTree(topo.PPN, 2)
+	for s, sz := range segs {
+		blk := int32(s)
+		for node := 0; node < topo.Nodes; node++ {
+			ms := members[node]
+			for lr := 0; lr < len(ms); lr++ {
+				r := ms[lr]
+				if nt.parent[lr] >= 0 {
+					b.Recv(r, ms[nt.parent[lr]], sz)
+				}
+				for _, c := range nt.children[lr] {
+					b.Send(r, ms[c], sz, pay1(b, blk, 1)...)
+				}
+			}
+		}
+	}
+}

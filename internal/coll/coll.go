@@ -1,0 +1,218 @@
+// Package coll implements the collective communication algorithms of the
+// simulated MPI libraries as schedule generators: each algorithm, given a
+// process topology, a message size and its algorithmic parameters, emits a
+// per-rank operation program for the discrete-event simulator.
+//
+// Every generator is a faithful implementation of the corresponding
+// communication schedule (tree shapes, segmentation, pipelining, exchange
+// patterns) — running times emerge from simulating the schedule, not from
+// closed-form cost formulas. In verify mode the generators additionally
+// annotate messages with data-flow payloads so tests can prove the schedule
+// actually implements the collective's semantics.
+package coll
+
+import (
+	"fmt"
+
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// Params carries the algorithmic parameters of a configuration. The meaning
+// depends on the algorithm: Seg is a segment size in bytes (0 = no
+// segmentation); Fanout is the chain count for chain broadcasts, the radix
+// for k-nomial trees, or the outstanding-request window for spread alltoall.
+type Params struct {
+	Seg    int64
+	Fanout int
+}
+
+func (p Params) String() string {
+	s := ""
+	if p.Seg > 0 {
+		s += fmt.Sprintf(" seg=%d", p.Seg)
+	}
+	if p.Fanout > 0 {
+		s += fmt.Sprintf(" fanout=%d", p.Fanout)
+	}
+	return s
+}
+
+// Generator emits the schedule of one collective algorithm for the given
+// topology, per-instance message size m (bytes) and parameters.
+type Generator func(b *sim.Builder, topo netmodel.Topology, m int64, prm Params)
+
+// Root is the root rank of all rooted collectives (the paper benchmarks a
+// fixed root).
+const Root = 0
+
+// segSizes splits m into segments of at most seg bytes. seg <= 0 or
+// seg >= m yields a single segment. m == 0 yields one empty segment so that
+// schedules still carry the synchronization structure.
+func segSizes(m, seg int64) []int64 {
+	if m <= 0 {
+		return []int64{0}
+	}
+	if seg <= 0 || seg >= m {
+		return []int64{m}
+	}
+	n := (m + seg - 1) / seg
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = seg
+	}
+	out[n-1] = m - seg*(n-1)
+	return out
+}
+
+// chunkSizes splits m into p nearly equal chunks (chunk i gets one extra
+// byte while i < m mod p); used by scatter/reduce-scatter based algorithms.
+func chunkSizes(m int64, p int) []int64 {
+	out := make([]int64, p)
+	base := m / int64(p)
+	rem := m % int64(p)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// sumRange sums sizes[lo:hi].
+func sumRange(sizes []int64, lo, hi int) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		s += sizes[i]
+	}
+	return s
+}
+
+// tree describes a rooted spanning tree over p ranks. For k-nomial trees,
+// span[r] is the length of the contiguous rank interval [r, r+span[r])
+// forming r's subtree (the property binomial scatter relies on); it is nil
+// for tree shapes without contiguous subtrees.
+type tree struct {
+	parent   []int
+	children [][]int
+	span     []int
+}
+
+// knomialTree builds the k-nomial tree rooted at Root used by binomial
+// (k=2) and k-nomial broadcasts/reductions. Children are ordered with the
+// largest subtree first, matching the classic binomial broadcast order.
+func knomialTree(p, k int) tree {
+	if k < 2 {
+		k = 2
+	}
+	t := tree{parent: make([]int, p), children: make([][]int, p), span: make([]int, p)}
+	for r := 0; r < p; r++ {
+		t.parent[r] = -1
+		t.span[r] = p // root spans everything
+		mask := 1
+		for mask < p {
+			digit := (r / mask) % k
+			if digit != 0 {
+				t.parent[r] = r - digit*mask
+				t.span[r] = mask
+				if r+t.span[r] > p {
+					t.span[r] = p - r
+				}
+				break
+			}
+			mask *= k
+		}
+	}
+	// Children in descending rank order approximates farthest-first
+	// (largest remaining subtree first).
+	for r := p - 1; r >= 1; r-- {
+		pa := t.parent[r]
+		t.children[pa] = append(t.children[pa], r)
+	}
+	return t
+}
+
+// binaryTree builds the in-order heap-shaped binary tree rooted at Root
+// (children of r are 2r+1 and 2r+2).
+func binaryTree(p int) tree {
+	t := tree{parent: make([]int, p), children: make([][]int, p)}
+	t.parent[0] = -1
+	for r := 1; r < p; r++ {
+		t.parent[r] = (r - 1) / 2
+	}
+	for r := 0; r < p; r++ {
+		if l := 2*r + 1; l < p {
+			t.children[r] = append(t.children[r], l)
+		}
+		if rr := 2*r + 2; rr < p {
+			t.children[r] = append(t.children[r], rr)
+		}
+	}
+	return t
+}
+
+// subtreeSize returns the number of ranks in each rank's subtree, computed
+// by post-order accumulation from the root.
+func (t tree) subtreeSize() []int {
+	p := len(t.parent)
+	size := make([]int, p)
+	var visit func(r int)
+	visit = func(r int) {
+		size[r] = 1
+		for _, c := range t.children[r] {
+			visit(c)
+			size[r] += size[c]
+		}
+	}
+	visit(0)
+	return size
+}
+
+// nodeMembers returns, per node, the sorted ranks it hosts — valid for any
+// placement (block or cyclic).
+func nodeMembers(topo netmodel.Topology) [][]int {
+	members := make([][]int, topo.Nodes)
+	for r := 0; r < topo.P(); r++ {
+		n := topo.NodeOf(int32(r))
+		members[n] = append(members[n], r)
+	}
+	return members
+}
+
+// leadersOf returns the node-leader ranks (lowest rank on each node) and
+// each rank's leader, for hierarchical (two-level) algorithms.
+func leadersOf(topo netmodel.Topology) (leaders []int, leaderOf []int) {
+	members := nodeMembers(topo)
+	leaders = make([]int, topo.Nodes)
+	leaderOf = make([]int, topo.P())
+	for n, ms := range members {
+		leaders[n] = ms[0]
+		for _, r := range ms {
+			leaderOf[r] = ms[0]
+		}
+	}
+	return leaders, leaderOf
+}
+
+// pay1 returns a single-unit payload slice when verifying, nil otherwise.
+// Passing nil payloads in production keeps the builder hot path cheap.
+func pay1(b *sim.Builder, block int32, mask uint64) []sim.PayUnit {
+	if !b.Verify() {
+		return nil
+	}
+	return []sim.PayUnit{{Block: block, Mask: mask}}
+}
+
+// payAll returns payload units granting mask on blocks [0, nblocks): the
+// annotation of a message carrying the whole (chunk-structured) vector.
+func payAll(b *sim.Builder, nblocks int, mask uint64) []sim.PayUnit {
+	if !b.Verify() {
+		return nil
+	}
+	pay := make([]sim.PayUnit, nblocks)
+	for i := range pay {
+		pay[i] = sim.PayUnit{Block: int32(i), Mask: mask}
+	}
+	return pay
+}

@@ -1,0 +1,195 @@
+package coll
+
+import (
+	"testing"
+
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// These tests pin down the qualitative performance landscape the paper's
+// selection problem lives on: which algorithm family wins in which regime.
+// If the simulated cost surfaces lost these crossovers, the selection
+// problem would degenerate and the reproduction would be meaningless.
+
+func simTime(t *testing.T, g Generator, prm Params, topo netmodel.Topology, m int64) float64 {
+	t.Helper()
+	b := sim.NewBuilder(topo.P(), false)
+	g(b, topo, m, prm)
+	model := netmodel.New(machine.Hydra().Net, topo, 1, false)
+	res, err := sim.NewEngine().Run(b.Build(), model, nil, nil)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return res.Time
+}
+
+func TestBinomialBeatsLinearForSmallMessagesManyRanks(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 4}
+	lin := simTime(t, BcastLinear, Params{}, topo, 64)
+	bin := simTime(t, BcastBinomial, Params{}, topo, 64)
+	// O(log p) rounds vs O(p) sequential sends; the sender-side overhead of
+	// an eager send is small, so the advantage is ~2x at p=64, not p/log p.
+	if bin >= lin*2/3 {
+		t.Errorf("binomial (%.3g) should clearly beat linear (%.3g) for 64B on 64 ranks", bin, lin)
+	}
+}
+
+func TestPipelineBeatsBinomialForHugeMessages(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 1}
+	bin := simTime(t, BcastBinomial, Params{}, topo, 4<<20)
+	pipe := simTime(t, BcastPipeline, Params{Seg: 64 << 10}, topo, 4<<20)
+	if pipe >= bin {
+		t.Errorf("segmented pipeline (%.3g) should beat unsegmented binomial (%.3g) at 4MB", pipe, bin)
+	}
+}
+
+func TestBinomialBeatsPipelineForSmallMessages(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 1}
+	bin := simTime(t, BcastBinomial, Params{}, topo, 64)
+	pipe := simTime(t, BcastPipeline, Params{Seg: 64 << 10}, topo, 64)
+	if bin >= pipe {
+		t.Errorf("binomial (%.3g) should beat the chain pipeline (%.3g) at 64B", bin, pipe)
+	}
+}
+
+func TestSegmentSizeTradeoffExists(t *testing.T) {
+	// Tiny segments pay per-message latency; huge segments lose
+	// pipelining: a middle segment size should beat both extremes for a
+	// long chain, the effect behind the paper's Fig. 2.
+	topo := netmodel.Topology{Nodes: 24, PPN: 1}
+	const m = 4 << 20
+	small := simTime(t, BcastPipeline, Params{Seg: 256}, topo, m)
+	mid := simTime(t, BcastPipeline, Params{Seg: 16 << 10}, topo, m)
+	large := simTime(t, BcastPipeline, Params{Seg: 0}, topo, m) // unsegmented
+	if !(mid < small && mid < large) {
+		t.Errorf("no interior optimum: seg256=%.3g seg16K=%.3g unseg=%.3g", small, mid, large)
+	}
+}
+
+func TestRingBeatsRecursiveDoublingForLargeAllreduce(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 1}
+	rd := simTime(t, AllreduceRecursiveDoubling, Params{}, topo, 4<<20)
+	ring := simTime(t, AllreduceRing, Params{}, topo, 4<<20)
+	if ring >= rd {
+		t.Errorf("ring (%.3g) should beat recursive doubling (%.3g) at 4MB", ring, rd)
+	}
+}
+
+func TestRecursiveDoublingBeatsRingForSmallAllreduce(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 1}
+	rd := simTime(t, AllreduceRecursiveDoubling, Params{}, topo, 16)
+	ring := simTime(t, AllreduceRing, Params{}, topo, 16)
+	if rd >= ring {
+		t.Errorf("recursive doubling (%.3g) should beat ring (%.3g) at 16B", rd, ring)
+	}
+}
+
+func TestHierarchicalAllreduceWinsAtHighPPN(t *testing.T) {
+	// With 32 processes per node, flat recursive doubling floods the NICs;
+	// the two-level scheme sends one stream per node.
+	topo := netmodel.Topology{Nodes: 8, PPN: 32}
+	flat := simTime(t, AllreduceRecursiveDoubling, Params{}, topo, 64<<10)
+	hier := simTime(t, AllreduceHierarchical, Params{}, topo, 64<<10)
+	if hier >= flat {
+		t.Errorf("hierarchical (%.3g) should beat flat recursive doubling (%.3g) at ppn=32", hier, flat)
+	}
+}
+
+func TestBruckBeatsPairwiseForTinyAlltoall(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 2}
+	bruck := simTime(t, AlltoallBruck, Params{}, topo, 8)
+	pw := simTime(t, AlltoallPairwise, Params{}, topo, 8)
+	if bruck >= pw {
+		t.Errorf("bruck (%.3g) should beat pairwise (%.3g) for 8B alltoall", bruck, pw)
+	}
+}
+
+func TestPairwiseBeatsBruckForLargeAlltoall(t *testing.T) {
+	topo := netmodel.Topology{Nodes: 16, PPN: 2}
+	bruck := simTime(t, AlltoallBruck, Params{}, topo, 64<<10)
+	pw := simTime(t, AlltoallPairwise, Params{}, topo, 64<<10)
+	if pw >= bruck {
+		t.Errorf("pairwise (%.3g) should beat bruck (%.3g) for 64KB alltoall", pw, bruck)
+	}
+}
+
+func TestPlacementChangesChainCost(t *testing.T) {
+	// With block placement a chain broadcast walks mostly on-node; cyclic
+	// placement turns every hop into a network message. The paper lists
+	// process placement among the factors that shape algorithm selection.
+	block := netmodel.Topology{Nodes: 4, PPN: 8}
+	cyclic := netmodel.Topology{Nodes: 4, PPN: 8, Cyclic: true}
+	tBlock := simTime(t, BcastPipeline, Params{Seg: 16 << 10}, block, 1<<20)
+	tCyclic := simTime(t, BcastPipeline, Params{Seg: 16 << 10}, cyclic, 1<<20)
+	if tCyclic <= tBlock {
+		t.Errorf("cyclic placement (%.3g) should slow the chain vs block placement (%.3g)", tCyclic, tBlock)
+	}
+}
+
+func TestHierarchicalUnaffectedByPlacementSemantics(t *testing.T) {
+	// The two-level allreduce adapts its member lists to the placement;
+	// both placements must complete and give comparable (not wildly
+	// different) times because only one stream per node hits the network.
+	block := netmodel.Topology{Nodes: 4, PPN: 8}
+	cyclic := netmodel.Topology{Nodes: 4, PPN: 8, Cyclic: true}
+	tBlock := simTime(t, AllreduceHierarchical, Params{}, block, 1<<16)
+	tCyclic := simTime(t, AllreduceHierarchical, Params{}, cyclic, 1<<16)
+	ratio := tCyclic / tBlock
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("hierarchical allreduce placement ratio %.2f out of band (%.3g vs %.3g)",
+			ratio, tCyclic, tBlock)
+	}
+}
+
+func TestMachinesRankAlgorithmsDifferently(t *testing.T) {
+	// The whole premise of machine-specific tuning: the same two
+	// configurations can rank differently on Hydra (fat network) and
+	// Jupiter (thin network). Scan a few instances to find at least one
+	// disagreement between the machines' winners.
+	run := func(net netmodel.Params, g Generator, prm Params, topo netmodel.Topology, m int64) float64 {
+		b := sim.NewBuilder(topo.P(), false)
+		g(b, topo, m, prm)
+		model := netmodel.New(net, topo, 1, false)
+		res, err := sim.NewEngine().Run(b.Build(), model, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	type cand struct {
+		g   Generator
+		prm Params
+	}
+	cands := []cand{
+		{BcastBinomial, Params{}},
+		{BcastPipeline, Params{Seg: 16 << 10}},
+		{BcastChain, Params{Seg: 64 << 10, Fanout: 4}},
+		{BcastScatterRingAllgather, Params{}},
+	}
+	hydra, jupiter := machine.Hydra().Net, machine.Jupiter().Net
+	disagreements := 0
+	for _, m := range []int64{16 << 10, 256 << 10, 4 << 20} {
+		for _, topo := range []netmodel.Topology{{Nodes: 8, PPN: 4}, {Nodes: 16, PPN: 8}} {
+			bestH, bestJ := -1, -1
+			var tH, tJ float64
+			for i, cd := range cands {
+				h := run(hydra, cd.g, cd.prm, topo, m)
+				j := run(jupiter, cd.g, cd.prm, topo, m)
+				if bestH < 0 || h < tH {
+					bestH, tH = i, h
+				}
+				if bestJ < 0 || j < tJ {
+					bestJ, tJ = i, j
+				}
+			}
+			if bestH != bestJ {
+				disagreements++
+			}
+		}
+	}
+	if disagreements == 0 {
+		t.Error("Hydra and Jupiter agree on every winner; machine-specific tuning would be pointless")
+	}
+}

@@ -1,0 +1,81 @@
+package coll
+
+import (
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// Gather/Scatter verification conventions: m is the per-rank block size.
+// Scatter: block id = destination rank, root initially holds every block,
+// rank r must end holding block r. Gather: block id = source rank, rank r
+// initially holds block r, the root must end holding every block. These
+// rooted collectives complete the library portfolios.
+
+// ScatterLinear has the root send each rank its block directly.
+func ScatterLinear(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	for r := 1; r < p; r++ {
+		b.Send(Root, r, m, pay1(b, int32(r), 1)...)
+		b.Recv(r, Root, m)
+	}
+}
+
+// ScatterBinomial scatters down a binomial tree: each parent forwards a
+// child the blocks of the child's whole subtree.
+func ScatterBinomial(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	chunks := make([]int64, p)
+	for i := range chunks {
+		chunks[i] = m
+	}
+	scatterBinomial(b, p, chunks)
+}
+
+// GatherLinear has every rank send its block straight to the root.
+func GatherLinear(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	for r := 1; r < p; r++ {
+		b.Send(r, Root, m, pay1(b, int32(r), 1)...)
+		b.Recv(Root, r, m)
+	}
+}
+
+// GatherBinomial gathers up a binomial tree: each rank collects its
+// subtree's blocks from its children (deepest first) and forwards the
+// aggregate to its parent.
+func GatherBinomial(b *sim.Builder, topo netmodel.Topology, m int64, _ Params) {
+	p := topo.P()
+	if p <= 1 {
+		return
+	}
+	t := knomialTree(p, 2)
+	payRange := func(lo, span int) []sim.PayUnit {
+		if !b.Verify() {
+			return nil
+		}
+		pay := make([]sim.PayUnit, span)
+		for i := 0; i < span; i++ {
+			pay[i] = sim.PayUnit{Block: int32(lo + i), Mask: 1}
+		}
+		return pay
+	}
+	for r := p - 1; r >= 0; r-- {
+		// Children hold contiguous subtree ranges [c, c+span).
+		for i := len(t.children[r]) - 1; i >= 0; i-- {
+			c := t.children[r][i]
+			b.Recv(r, c, int64(t.span[c])*m)
+		}
+		if t.parent[r] >= 0 {
+			b.Send(r, t.parent[r], int64(t.span[r])*m, payRange(r, t.span[r])...)
+		}
+	}
+}

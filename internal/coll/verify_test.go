@@ -1,0 +1,319 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+// The central correctness test of the substrate: every schedule generator is
+// executed through the simulator with data-flow tracking, under both an
+// all-eager and a rendezvous-heavy protocol regime, across topologies
+// (including non-power-of-two and multi-node ones) and message sizes. The
+// tracker proves that (a) no rank ever sends data it does not hold, (b) the
+// schedule completes without deadlock, and (c) the collective's
+// postcondition holds on every rank.
+
+type genCase struct {
+	name string
+	coll string // "bcast" | "allreduce" | "alltoall"
+	gen  Generator
+	prm  Params
+}
+
+func allCases() []genCase {
+	var cs []genCase
+	add := func(name, coll string, g Generator, prm Params) {
+		cs = append(cs, genCase{name, coll, g, prm})
+	}
+
+	add("bcast/linear", "bcast", BcastLinear, Params{})
+	for _, seg := range []int64{0, 100, 1024} {
+		for _, f := range []int{1, 2, 4} {
+			add(fmt.Sprintf("bcast/chain seg=%d f=%d", seg, f), "bcast", BcastChain, Params{Seg: seg, Fanout: f})
+		}
+		add(fmt.Sprintf("bcast/pipeline seg=%d", seg), "bcast", BcastPipeline, Params{Seg: seg})
+		add(fmt.Sprintf("bcast/binary seg=%d", seg), "bcast", BcastBinary, Params{Seg: seg})
+		add(fmt.Sprintf("bcast/binomial seg=%d", seg), "bcast", BcastBinomial, Params{Seg: seg})
+		add(fmt.Sprintf("bcast/splitbinary seg=%d", seg), "bcast", BcastSplitBinary, Params{Seg: seg})
+		add(fmt.Sprintf("bcast/doubletree seg=%d", seg), "bcast", BcastDoubleTree, Params{Seg: seg})
+		add(fmt.Sprintf("bcast/hier seg=%d", seg), "bcast", BcastHierarchical, Params{Seg: seg})
+	}
+	for _, radix := range []int{2, 3, 4, 8} {
+		add(fmt.Sprintf("bcast/knomial r=%d", radix), "bcast", BcastKnomial, Params{Fanout: radix})
+		add(fmt.Sprintf("bcast/hier r=%d", radix), "bcast", BcastHierarchical, Params{Fanout: radix})
+	}
+	add("bcast/scatter_allgather", "bcast", BcastScatterAllgather, Params{})
+	add("bcast/scatter_ring_allgather", "bcast", BcastScatterRingAllgather, Params{})
+
+	add("allreduce/linear", "allreduce", AllreduceLinear, Params{})
+	add("allreduce/nonoverlapping", "allreduce", AllreduceNonoverlapping, Params{})
+	add("allreduce/recdoubling", "allreduce", AllreduceRecursiveDoubling, Params{})
+	add("allreduce/ring", "allreduce", AllreduceRing, Params{})
+	for _, seg := range []int64{100, 1024} {
+		add(fmt.Sprintf("allreduce/segring seg=%d", seg), "allreduce", AllreduceSegmentedRing, Params{Seg: seg})
+	}
+	add("allreduce/rabenseifner", "allreduce", AllreduceRabenseifner, Params{})
+	add("allreduce/allgather_reduce", "allreduce", AllreduceAllgatherReduce, Params{})
+	for _, radix := range []int{2, 4} {
+		add(fmt.Sprintf("allreduce/knomial r=%d", radix), "allreduce", AllreduceKnomial, Params{Fanout: radix})
+	}
+	for _, f := range []int{0, 2, 3} {
+		add(fmt.Sprintf("allreduce/hier f=%d", f), "allreduce", AllreduceHierarchical, Params{Fanout: f})
+	}
+
+	add("reduce/linear", "reduce", ReduceLinear, Params{})
+	add("reduce/binomial", "reduce", ReduceBinomial, Params{})
+	for _, radix := range []int{3, 4, 8} {
+		add(fmt.Sprintf("reduce/knomial r=%d", radix), "reduce", ReduceKnomial, Params{Fanout: radix})
+	}
+	for _, seg := range []int64{0, 100, 1024} {
+		add(fmt.Sprintf("reduce/pipelined seg=%d", seg), "reduce", ReducePipelined, Params{Seg: seg})
+	}
+
+	add("scatter/linear", "scatter", ScatterLinear, Params{})
+	add("scatter/binomial", "scatter", ScatterBinomial, Params{})
+	add("gather/linear", "gather", GatherLinear, Params{})
+	add("gather/binomial", "gather", GatherBinomial, Params{})
+
+	add("allgather/ring", "allgather", AllgatherRing, Params{})
+	add("allgather/recdoubling", "allgather", AllgatherRecursiveDoubling, Params{})
+	add("allgather/bruck", "allgather", AllgatherBruck, Params{})
+	add("allgather/linear", "allgather", AllgatherLinear, Params{})
+	add("allgather/neighbor", "allgather", AllgatherNeighborExchange, Params{})
+
+	add("alltoall/linear", "alltoall", AlltoallLinear, Params{})
+	add("alltoall/pairwise", "alltoall", AlltoallPairwise, Params{})
+	add("alltoall/bruck", "alltoall", AlltoallBruck, Params{})
+	for _, w := range []int{1, 2, 4} {
+		add(fmt.Sprintf("alltoall/spread w=%d", w), "alltoall", AlltoallSpread, Params{Fanout: w})
+	}
+	add("alltoall/hier", "alltoall", AlltoallHierarchical, Params{})
+	return cs
+}
+
+func verifyParams(eager uint32) netmodel.Params {
+	return netmodel.Params{
+		LInter: 1.5e-6, GInter: 1.0 / 10e9, GNic: 1.0 / 12e9,
+		LIntra: 0.4e-6, GIntra: 1.0 / 8e9, GMem: 1.0 / 30e9,
+		OSend: 0.3e-6, ORecv: 0.35e-6, OByte: 0.05e-9, Gamma: 1.0 / 6e9,
+		Eager: eager, RendezvousL: 3e-6, Sigma: 0,
+	}
+}
+
+// usedBlocks returns the distinct block ids appearing in the program's
+// payload table.
+func usedBlocks(prog *sim.Program) map[int32]bool {
+	used := make(map[int32]bool)
+	for _, u := range prog.Pay {
+		used[u.Block] = true
+	}
+	return used
+}
+
+func runVerified(t *testing.T, tc genCase, topo netmodel.Topology, m int64, eager uint32) {
+	t.Helper()
+	p := topo.P()
+	b := sim.NewBuilder(p, true)
+	tc.gen(b, topo, m, tc.prm)
+	prog := b.Build()
+	if p == 1 {
+		if prog.NumOps() != 0 {
+			t.Errorf("%s p=1: expected empty program, got %d ops", tc.name, prog.NumOps())
+		}
+		return
+	}
+
+	tr := sim.NewTracker(p)
+	used := usedBlocks(prog)
+	full := sim.FullMask(p)
+	switch tc.coll {
+	case "bcast":
+		if len(used) == 0 {
+			t.Fatalf("%s: no payload blocks recorded", tc.name)
+		}
+		for blk := range used {
+			tr.Init(Root, blk, 1)
+		}
+	case "allreduce":
+		if len(used) == 0 {
+			t.Fatalf("%s: no payload blocks recorded", tc.name)
+		}
+		for blk := range used {
+			for r := 0; r < p; r++ {
+				tr.Init(r, blk, 1<<uint(r))
+			}
+		}
+	case "reduce":
+		if len(used) == 0 {
+			t.Fatalf("%s: no payload blocks recorded", tc.name)
+		}
+		for blk := range used {
+			for r := 0; r < p; r++ {
+				tr.Init(r, blk, 1<<uint(r))
+			}
+		}
+	case "allgather":
+		for r := 0; r < p; r++ {
+			tr.Init(r, int32(r), 1)
+		}
+		if len(used) != p {
+			t.Errorf("%s topo=%dx%d: %d distinct blocks moved, want %d",
+				tc.name, topo.Nodes, topo.PPN, len(used), p)
+		}
+	case "scatter":
+		for blk := 0; blk < p; blk++ {
+			tr.Init(Root, int32(blk), 1)
+		}
+		if len(used) != p-1 { // the root's own block never moves
+			t.Errorf("%s topo=%dx%d: %d distinct blocks moved, want %d",
+				tc.name, topo.Nodes, topo.PPN, len(used), p-1)
+		}
+	case "gather":
+		for r := 0; r < p; r++ {
+			tr.Init(r, int32(r), 1)
+		}
+	case "alltoall":
+		for r := 0; r < p; r++ {
+			for d := 0; d < p; d++ {
+				tr.Init(r, a2aBlock(p, r, d), 1)
+			}
+		}
+		if want := p * (p - 1); len(used) != want {
+			t.Errorf("%s topo=%dx%d: %d distinct blocks moved, want %d",
+				tc.name, topo.Nodes, topo.PPN, len(used), want)
+		}
+	}
+
+	model := netmodel.New(verifyParams(eager), topo, 7, false)
+	res, err := sim.NewEngine().Run(prog, model, nil, tr)
+	if err != nil {
+		t.Fatalf("%s topo=%dx%d m=%d eager=%d: %v", tc.name, topo.Nodes, topo.PPN, m, eager, err)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("%s: non-positive makespan %v", tc.name, res.Time)
+	}
+
+	switch tc.coll {
+	case "bcast":
+		for blk := range used {
+			for r := 0; r < p; r++ {
+				if !tr.Holds(r, blk, 1) {
+					t.Fatalf("%s topo=%dx%d m=%d: rank %d missing block %d",
+						tc.name, topo.Nodes, topo.PPN, m, r, blk)
+				}
+			}
+		}
+	case "allreduce":
+		for blk := range used {
+			for r := 0; r < p; r++ {
+				if !tr.Holds(r, blk, full) {
+					t.Fatalf("%s topo=%dx%d m=%d: rank %d block %d mask %#x, want %#x",
+						tc.name, topo.Nodes, topo.PPN, m, r, blk, tr.Mask(r, blk), full)
+				}
+			}
+		}
+	case "reduce":
+		for blk := range used {
+			if !tr.Holds(Root, blk, full) {
+				t.Fatalf("%s topo=%dx%d m=%d: root block %d mask %#x, want %#x",
+					tc.name, topo.Nodes, topo.PPN, m, blk, tr.Mask(Root, blk), full)
+			}
+		}
+	case "allgather":
+		for blk := 0; blk < p; blk++ {
+			for r := 0; r < p; r++ {
+				if !tr.Holds(r, int32(blk), 1) {
+					t.Fatalf("%s topo=%dx%d m=%d: rank %d missing block %d",
+						tc.name, topo.Nodes, topo.PPN, m, r, blk)
+				}
+			}
+		}
+	case "scatter":
+		for r := 1; r < p; r++ {
+			if !tr.Holds(r, int32(r), 1) {
+				t.Fatalf("%s topo=%dx%d m=%d: rank %d missing its block", tc.name, topo.Nodes, topo.PPN, m, r)
+			}
+		}
+	case "gather":
+		for blk := 0; blk < p; blk++ {
+			if !tr.Holds(Root, int32(blk), 1) {
+				t.Fatalf("%s topo=%dx%d m=%d: root missing block %d", tc.name, topo.Nodes, topo.PPN, m, blk)
+			}
+		}
+	case "alltoall":
+		for s := 0; s < p; s++ {
+			for r := 0; r < p; r++ {
+				if s == r {
+					continue
+				}
+				if !tr.Holds(r, a2aBlock(p, s, r), 1) {
+					t.Fatalf("%s topo=%dx%d m=%d: rank %d missing block from %d",
+						tc.name, topo.Nodes, topo.PPN, m, r, s)
+				}
+			}
+		}
+	}
+}
+
+var verifyTopos = []netmodel.Topology{
+	{Nodes: 1, PPN: 1},
+	{Nodes: 2, PPN: 1},
+	{Nodes: 3, PPN: 1},
+	{Nodes: 1, PPN: 4},
+	{Nodes: 2, PPN: 2},
+	{Nodes: 5, PPN: 1},
+	{Nodes: 2, PPN: 3},
+	{Nodes: 7, PPN: 1},
+	{Nodes: 2, PPN: 4},
+	{Nodes: 3, PPN: 4},
+	{Nodes: 4, PPN: 4},
+	{Nodes: 2, PPN: 8},
+	// Cyclic (round-robin) placements: schedules must stay semantically
+	// correct when node membership is no longer contiguous in rank order.
+	{Nodes: 2, PPN: 3, Cyclic: true},
+	{Nodes: 3, PPN: 4, Cyclic: true},
+	{Nodes: 4, PPN: 2, Cyclic: true},
+}
+
+func TestAllGeneratorsVerifyEager(t *testing.T) {
+	for _, tc := range allCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, topo := range verifyTopos {
+				for _, m := range []int64{1, 7, 1000, 65536} {
+					runVerified(t, tc, topo, m, 1<<30)
+				}
+			}
+		})
+	}
+}
+
+func TestAllGeneratorsVerifyRendezvous(t *testing.T) {
+	// A tiny eager threshold forces nearly every transfer through the
+	// rendezvous path, the regime where ordering bugs deadlock.
+	for _, tc := range allCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, topo := range verifyTopos {
+				for _, m := range []int64{1000, 65536} {
+					runVerified(t, tc, topo, m, 64)
+				}
+			}
+		})
+	}
+}
+
+func TestLargeMessageSegmented(t *testing.T) {
+	// 1 MiB with 1 KiB segments: thousands of ops per rank; exercises the
+	// pipelining paths at realistic segment counts.
+	topo := netmodel.Topology{Nodes: 4, PPN: 2}
+	for _, tc := range allCases() {
+		if tc.coll == "alltoall" {
+			continue // alltoall m is per-pair; 1 MiB would be excessive
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			runVerified(t, tc, topo, 1<<20, 16384)
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"mpicollpred/internal/bench"
+	"mpicollpred/internal/dataset"
+)
+
+// The paper notes the approach is offline: predictions "in the order of
+// seconds" suffice for SLURM integration, while online use would need
+// microseconds. These benchmarks measure where our selector actually lands
+// per learner.
+func benchSelect(b *testing.B, learner string) {
+	spec, err := dataset.SpecByName("d2", dataset.ScaleSmoke)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Nodes = []int{2, 3, 4, 5}
+	spec.PPNs = []int{1, 4}
+	spec.Msizes = []int64{16, 4096, 65536, 1048576}
+	ds, err := dataset.Generate(spec, bench.Options{MaxReps: 2, SyncJitter: 1e-7}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, set, err := spec.Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := Train(ds, set, learner, []int{2, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sel.Select(5, 4, 65536)
+		if p.ConfigID < 1 {
+			b.Fatal("bad selection")
+		}
+	}
+}
+
+func BenchmarkSelectLatencyKNN(b *testing.B)     { benchSelect(b, "knn") }
+func BenchmarkSelectLatencyGAM(b *testing.B)     { benchSelect(b, "gam") }
+func BenchmarkSelectLatencyXGBoost(b *testing.B) { benchSelect(b, "xgboost") }

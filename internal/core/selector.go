@@ -1,0 +1,153 @@
+// Package core implements the paper's contribution: the algorithm selection
+// strategy for MPI collectives based on per-configuration regression models
+// (Fig. 3 of the paper).
+//
+// For every algorithm configuration u(j,l) of a collective, a regression
+// model is fitted that predicts the configuration's running time from the
+// instance features (message size, number of nodes, processes per node).
+// For an unseen instance, every model is queried and the configuration with
+// the smallest predicted running time is selected. Merging the parameter
+// allocation into the configuration id solves the algorithm selection and
+// the algorithm configuration problem at once.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/ml"
+	"mpicollpred/internal/mpilib"
+)
+
+// Features maps an instance to the model's feature vector. Message size
+// enters log-scaled (it spans six orders of magnitude); the total process
+// count is added as a derived feature, which helps the additive learners
+// capture tree-depth effects without interactions.
+func Features(nodes, ppn int, msize int64) []float64 {
+	p := float64(nodes * ppn)
+	return []float64{
+		math.Log2(float64(msize) + 1),
+		float64(nodes),
+		float64(ppn),
+		math.Log2(p),
+	}
+}
+
+// Prediction is one model's estimate for an instance.
+type Prediction struct {
+	ConfigID  int
+	AlgID     int
+	Label     string
+	Predicted float64 // seconds
+}
+
+// Selector is a trained algorithm selection model for one collective on one
+// machine/library pair.
+type Selector struct {
+	Coll    string
+	Learner string
+	// TrainNodes records which node counts supplied training data.
+	TrainNodes []int
+
+	configs []mpilib.Config
+	models  map[int]ml.Regressor
+}
+
+// Train fits one regression model per selectable configuration using the
+// samples of ds whose node count is in trainNodes (the paper's split: train
+// on commonly used node counts, predict the rest). learner is one of
+// ml.Names() ("knn", "gam", "xgboost", ...).
+func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, trainNodes []int) (*Selector, error) {
+	if len(trainNodes) == 0 {
+		return nil, fmt.Errorf("core: no training node counts given")
+	}
+	inTrain := map[int]bool{}
+	for _, n := range trainNodes {
+		inTrain[n] = true
+	}
+	sel := &Selector{
+		Coll:       ds.Spec.Coll,
+		Learner:    learner,
+		TrainNodes: append([]int(nil), trainNodes...),
+		models:     make(map[int]ml.Regressor),
+		configs:    set.Selectable(),
+	}
+
+	// Group training samples by configuration.
+	xs := map[int][][]float64{}
+	ys := map[int][]float64{}
+	for _, s := range ds.Samples {
+		if !inTrain[s.Nodes] {
+			continue
+		}
+		xs[s.ConfigID] = append(xs[s.ConfigID], Features(s.Nodes, s.PPN, s.Msize))
+		ys[s.ConfigID] = append(ys[s.ConfigID], s.Time)
+	}
+
+	for _, cfg := range sel.configs {
+		x, y := xs[cfg.ID], ys[cfg.ID]
+		if len(x) == 0 {
+			return nil, fmt.Errorf("core: configuration %d (%s) has no training samples on nodes %v",
+				cfg.ID, cfg.Label(), trainNodes)
+		}
+		m, err := ml.New(learner)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(x, y); err != nil {
+			return nil, fmt.Errorf("core: fitting %s for config %d (%s): %w", learner, cfg.ID, cfg.Label(), err)
+		}
+		sel.models[cfg.ID] = m
+	}
+	return sel, nil
+}
+
+// PredictAll returns every configuration's predicted running time for an
+// instance, sorted ascending by prediction.
+func (s *Selector) PredictAll(nodes, ppn int, msize int64) []Prediction {
+	return s.PredictAllFeatures(Features(nodes, ppn, msize))
+}
+
+// PredictAllFeatures is PredictAll on an explicit feature vector.
+func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
+	out := make([]Prediction, 0, len(s.configs))
+	for _, cfg := range s.configs {
+		out = append(out, Prediction{
+			ConfigID:  cfg.ID,
+			AlgID:     cfg.AlgID,
+			Label:     cfg.Label(),
+			Predicted: s.models[cfg.ID].Predict(f),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Predicted < out[j].Predicted })
+	return out
+}
+
+// Select returns the configuration with the smallest predicted running time
+// for the instance — the ArgMin box of the paper's Fig. 3.
+func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
+	return s.SelectFeatures(Features(nodes, ppn, msize))
+}
+
+// SelectFeatures is Select on an explicit feature vector (used by the
+// permutation-importance analysis, which tampers with single features).
+func (s *Selector) SelectFeatures(f []float64) Prediction {
+	var best Prediction
+	first := true
+	for _, cfg := range s.configs {
+		t := s.models[cfg.ID].Predict(f)
+		if math.IsNaN(t) {
+			continue
+		}
+		if first || t < best.Predicted {
+			best = Prediction{ConfigID: cfg.ID, AlgID: cfg.AlgID, Label: cfg.Label(), Predicted: t}
+			first = false
+		}
+	}
+	return best
+}
+
+// Configs returns the selectable configurations the selector ranges over.
+func (s *Selector) Configs() []mpilib.Config { return s.configs }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"mpicollpred/internal/machine"
+)
+
+func TestRatioSelectorTrainsAndSelects(t *testing.T) {
+	ds, set := testDataset(t)
+	mach, err := machine.ByName(ds.Spec.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := TrainRatio(ds, mach, set, "xgboost", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Name() == "" {
+		t.Error("empty name")
+	}
+	for _, m := range []int64{16, 16384, 1048576} {
+		p := sel.Select(5, 4, m)
+		if p.ConfigID < 1 || p.ConfigID > len(set.Configs) {
+			t.Fatalf("invalid selection %+v", p)
+		}
+	}
+}
+
+func TestClassifierSelectorTrainsAndSelects(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := TrainClassifier(ds, set, []int{2, 4, 6}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, n := range []int{3, 5} {
+		for _, ppn := range []int{1, 4} {
+			for _, m := range []int64{16, 1024, 16384, 262144, 1048576} {
+				p := sel.Select(n, ppn, m)
+				if p.ConfigID < 1 {
+					t.Fatalf("invalid selection %+v", p)
+				}
+				seen[p.ConfigID] = true
+			}
+		}
+	}
+	// The known bias of direct classification: few distinct labels.
+	if len(seen) > 8 {
+		t.Logf("classifier used %d distinct configs (unusually many)", len(seen))
+	}
+}
+
+func TestClassifierErrorsWithoutData(t *testing.T) {
+	ds, set := testDataset(t)
+	if _, err := TrainClassifier(ds, set, []int{99}, 5); err == nil {
+		t.Error("expected error for absent training nodes")
+	}
+}
+
+func TestStrategiesComparableOnTestSet(t *testing.T) {
+	// The paper's argmin-of-runtimes must not lose (in mean measured
+	// runtime vs best) to the two rejected strategies on held-out nodes.
+	ds, set := testDataset(t)
+	mach, err := machine.ByName(ds.Spec.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := []int{2, 4, 6}
+	paper, err := Train(ds, set, "xgboost", train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := TrainRatio(ds, mach, set, "xgboost", train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainClassifier(ds, set, train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	score := func(s Strategy) float64 {
+		sum, n := 0.0, 0
+		for _, nd := range []int{3, 5} {
+			for _, ppn := range []int{1, 4} {
+				for _, m := range []int64{16, 1024, 16384, 262144, 1048576} {
+					p := s.Select(nd, ppn, m)
+					tt, ok := ds.Lookup(p.ConfigID, nd, ppn, m)
+					if !ok {
+						t.Fatalf("%s selected unmeasured config %d", s.Name(), p.ConfigID)
+					}
+					_, best, _ := ds.Best(set, nd, ppn, m)
+					sum += tt / best
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	sp, sr, sc := score(paper), score(ratio), score(clf)
+	t.Logf("mean selected/best: paper=%.3f ratio=%.3f classifier=%.3f", sp, sr, sc)
+	if sp > sr*1.10 && sp > sc*1.10 {
+		t.Errorf("paper strategy (%.3f) lost clearly to both rejected strategies (%.3f, %.3f)", sp, sr, sc)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TuningFile renders the selector's decisions for one allocation
+// (nodes × ppn) over a set of message sizes as a rules file in the style of
+// Open MPI's coll_tuned dynamic rules: message-size thresholds mapped to
+// algorithm ids and parameters. This is the artifact the paper's workflow
+// produces right before an application starts ("once we know how many
+// compute nodes and processes per node have been requested, we query the
+// model for a set of message sizes and create a configuration file").
+func (s *Selector) TuningFile(nodes, ppn int, msizes []int64) string {
+	sorted := append([]int64(nil), msizes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mpicollpred tuning rules\n")
+	fmt.Fprintf(&b, "# collective: %s   learner: %s\n", s.Coll, s.Learner)
+	fmt.Fprintf(&b, "# allocation: %d nodes x %d ppn (%d processes)\n", nodes, ppn, nodes*ppn)
+	fmt.Fprintf(&b, "collective %s\n", s.Coll)
+	fmt.Fprintf(&b, "comm-size %d\n", nodes*ppn)
+	for _, m := range sorted {
+		pred := s.Select(nodes, ppn, m)
+		fmt.Fprintf(&b, "msg-size %d alg %d config %d  # %s, predicted %.3gs\n",
+			m, pred.AlgID, pred.ConfigID, pred.Label, pred.Predicted)
+	}
+	return b.String()
+}

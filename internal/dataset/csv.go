@@ -1,0 +1,196 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"mpicollpred/internal/bench"
+)
+
+// csvHeader is the on-disk column layout.
+var csvHeader = []string{"config_id", "alg_id", "nodes", "ppn", "msize", "time_s", "reps"}
+
+// WriteCSV serializes the dataset. The first record is a comment-like meta
+// row carrying the spec identity and the consumed benchmark budget.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := []string{"#meta", d.Spec.Name, d.Spec.Lib, d.Spec.Version, d.Spec.Coll,
+		d.Spec.Machine, strconv.FormatFloat(d.Consumed, 'g', -1, 64)}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, s := range d.Samples {
+		row[0] = strconv.Itoa(s.ConfigID)
+		row[1] = strconv.Itoa(s.AlgID)
+		row[2] = strconv.Itoa(s.Nodes)
+		row[3] = strconv.Itoa(s.PPN)
+		row[4] = strconv.FormatInt(s.Msize, 10)
+		row[5] = strconv.FormatFloat(s.Time, 'g', -1, 64)
+		row[6] = strconv.Itoa(s.Reps)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserializes a dataset written by WriteCSV. The spec grids
+// (Nodes/PPNs/Msizes) are reconstructed from the samples.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading meta row: %w", err)
+	}
+	if len(meta) < 7 || meta[0] != "#meta" {
+		return nil, fmt.Errorf("dataset: malformed meta row %v", meta)
+	}
+	d := &Dataset{Spec: Spec{Name: meta[1], Lib: meta[2], Version: meta[3], Coll: meta[4], Machine: meta[5]}}
+	if d.Consumed, err = strconv.ParseFloat(meta[6], 64); err != nil {
+		return nil, fmt.Errorf("dataset: bad consumed field: %w", err)
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+	}
+	nodesSet := map[int]bool{}
+	ppnSet := map[int]bool{}
+	msizeSet := map[int64]bool{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var s Sample
+		if s.ConfigID, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("dataset: bad config_id %q: %w", rec[0], err)
+		}
+		if s.AlgID, err = strconv.Atoi(rec[1]); err != nil {
+			return nil, err
+		}
+		if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
+			return nil, err
+		}
+		if s.PPN, err = strconv.Atoi(rec[3]); err != nil {
+			return nil, err
+		}
+		if s.Msize, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
+			return nil, err
+		}
+		if s.Time, err = strconv.ParseFloat(rec[5], 64); err != nil {
+			return nil, err
+		}
+		if s.Reps, err = strconv.Atoi(rec[6]); err != nil {
+			return nil, err
+		}
+		d.Samples = append(d.Samples, s)
+		nodesSet[s.Nodes] = true
+		ppnSet[s.PPN] = true
+		msizeSet[s.Msize] = true
+	}
+	d.Spec.Nodes = sortedInts(nodesSet)
+	d.Spec.PPNs = sortedInts(ppnSet)
+	d.Spec.Msizes = sortedInt64s(msizeSet)
+	d.buildIndex()
+	return d, nil
+}
+
+// Save writes the dataset to dir/<name>-<scale>.csv.
+func (d *Dataset) Save(dir string, scale Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := cachePath(dir, d.Spec.Name, scale)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadOrGenerate returns the cached dataset if dir holds one for (name,
+// scale); otherwise it generates the dataset with the machine's default
+// ReproMPI-style options and caches it.
+func LoadOrGenerate(dir, name string, scale Scale, progress func(done, total int)) (*Dataset, error) {
+	spec, err := SpecByName(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	path := cachePath(dir, name, scale)
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		d, err := ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: corrupt cache %s: %w", path, err)
+		}
+		return d, nil
+	}
+	opts := bench.DefaultOptions(spec.Machine)
+	opts.MaxReps = repsForScale(scale)
+	d, err := Generate(spec, opts, progress)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Save(dir, scale); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// repsForScale bounds the repetition count by scale: the paper's cap of 500
+// is a real-hardware robustness measure; in simulation a handful of
+// noise-perturbed repetitions yields the same median stability at a
+// fraction of the cost.
+func repsForScale(scale Scale) int {
+	switch scale {
+	case ScaleFull:
+		return 5
+	case ScaleMid:
+		return 2
+	default:
+		return 2
+	}
+}
+
+func cachePath(dir, name string, scale Scale) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.csv", name, scale))
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedInt64s(set map[int64]bool) []int64 {
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

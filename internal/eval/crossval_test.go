@@ -1,0 +1,48 @@
+package eval
+
+import "testing"
+
+func TestCrossValidate(t *testing.T) {
+	ds, _, _ := evalDataset(t, "d2")
+	folds, err := CrossValidate(ds, "gam", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	heldSeen := map[int]bool{}
+	for _, f := range folds {
+		if f.MAPE <= 0 || f.NumPreds == 0 {
+			t.Fatalf("degenerate fold %+v", f)
+		}
+		for _, n := range f.HeldOut {
+			if heldSeen[n] {
+				t.Errorf("node %d held out in two folds", n)
+			}
+			heldSeen[n] = true
+		}
+	}
+	// All node counts covered exactly once.
+	if len(heldSeen) != len(ds.Spec.Nodes) {
+		t.Errorf("folds covered %d of %d node counts", len(heldSeen), len(ds.Spec.Nodes))
+	}
+	if m := MeanMAPE(folds); m <= 0 || m > 2 {
+		t.Errorf("implausible mean MAPE %v", m)
+	}
+}
+
+func TestCrossValidateClampsK(t *testing.T) {
+	ds, _, _ := evalDataset(t, "d2")
+	// k larger than the number of node counts must clamp, not fail.
+	folds, err := CrossValidate(ds, "knn", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) == 0 || len(folds) > len(ds.Spec.Nodes) {
+		t.Errorf("unexpected fold count %d", len(folds))
+	}
+	if _, err := CrossValidate(ds, "nope", 3); err == nil {
+		t.Error("unknown learner must fail")
+	}
+}

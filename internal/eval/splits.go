@@ -1,0 +1,52 @@
+// Package eval implements the paper's evaluation methodology: train the
+// selector on the Table III training node counts, apply it to the held-out
+// test node counts, and compare the *measured* running time of the
+// predicted configuration against the exhaustive-search best and the
+// library's default decision logic.
+package eval
+
+import "fmt"
+
+// Split is one row of the paper's Table III: which node counts are used
+// for training (full and small variants) and which are held out for
+// testing, per machine.
+type Split struct {
+	Machine string
+	Full    []int
+	Small   []int
+	Test    []int
+}
+
+// Splits returns Table III.
+func Splits() []Split {
+	return []Split{
+		{Machine: "Hydra", Full: []int{4, 8, 16, 20, 24, 32, 36},
+			Small: []int{4, 16, 36}, Test: []int{7, 13, 19, 27, 35}},
+		{Machine: "Jupiter", Full: []int{4, 8, 16, 20, 24, 32},
+			Small: []int{4, 16, 32}, Test: []int{7, 13, 19, 27}},
+		{Machine: "SuperMUC-NG", Full: []int{20, 32, 48},
+			Small: []int{20, 32, 48}, Test: []int{27, 35}},
+	}
+}
+
+// SplitFor returns the split of the named machine.
+func SplitFor(machine string) (Split, error) {
+	for _, s := range Splits() {
+		if s.Machine == machine {
+			return s, nil
+		}
+	}
+	return Split{}, fmt.Errorf("eval: no split for machine %q", machine)
+}
+
+// TrainNodes returns the training node counts of the split variant
+// ("full" or "small").
+func (s Split) TrainNodes(variant string) ([]int, error) {
+	switch variant {
+	case "full":
+		return s.Full, nil
+	case "small":
+		return s.Small, nil
+	}
+	return nil, fmt.Errorf("eval: unknown split variant %q (want full or small)", variant)
+}

@@ -1,0 +1,102 @@
+// Package machine defines the three parallel machines of the paper's
+// Table I as parameter sets for the network model. The constants are chosen
+// to echo the published hardware characteristics (interconnect generation,
+// per-node bandwidth, core counts), not to match any measured microsecond
+// values: what matters for reproducing the paper is that the machines induce
+// different cost surfaces and therefore different best algorithms.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"mpicollpred/internal/netmodel"
+)
+
+// Machine bundles a machine profile: its size limits and network parameters.
+type Machine struct {
+	Name   string
+	MaxN   int // compute nodes available to us
+	MaxPPN int // cores (= max processes) per node
+	Net    netmodel.Params
+	// RefNet is the slightly different "reference system" on which the
+	// simulated vendor (Intel-style) decision tables were tuned. It stands
+	// in for the vendor's internal tuning cluster.
+	RefNet netmodel.Params
+}
+
+// Hydra models the dual-rail Intel OmniPath cluster (36 nodes, 2x16-core
+// Xeon Gold 6130): low latency, very high per-node injection bandwidth.
+func Hydra() Machine {
+	p := netmodel.Params{
+		LInter: 1.10e-6, GInter: 1.0 / 11.0e9, GNic: 1.0 / 21.0e9,
+		LIntra: 0.35e-6, GIntra: 1.0 / 9.0e9, GMem: 1.0 / 30.0e9,
+		OSend: 0.35e-6, ORecv: 0.40e-6, OByte: 0.05e-9, Gamma: 1.0 / 6.0e9,
+		Eager: 16384, RendezvousL: 2.2e-6, Sigma: 0.06,
+	}
+	return Machine{Name: "Hydra", MaxN: 36, MaxPPN: 32, Net: p, RefNet: p.Perturb(0.92, 1.07)}
+}
+
+// Jupiter models the older AMD Opteron 6134 cluster with single-rail QDR
+// InfiniBand (35 nodes, 16 cores/node): higher latency, ~1/6 the bandwidth
+// of Hydra, slower cores.
+func Jupiter() Machine {
+	p := netmodel.Params{
+		LInter: 1.60e-6, GInter: 1.0 / 3.2e9, GNic: 1.0 / 3.4e9,
+		LIntra: 0.50e-6, GIntra: 1.0 / 5.0e9, GMem: 1.0 / 12.0e9,
+		OSend: 0.60e-6, ORecv: 0.70e-6, OByte: 0.09e-9, Gamma: 1.0 / 3.0e9,
+		Eager: 12288, RendezvousL: 3.4e-6, Sigma: 0.08,
+	}
+	return Machine{Name: "Jupiter", MaxN: 35, MaxPPN: 16, Net: p, RefNet: p.Perturb(0.90, 1.10)}
+}
+
+// SuperMUCNG models the SuperMUC-NG islands (Skylake Platinum 8174, 48
+// cores/node, single-rail OmniPath). We model allocations of up to 48 nodes,
+// the sizes used in the paper's dataset d8.
+func SuperMUCNG() Machine {
+	p := netmodel.Params{
+		LInter: 1.05e-6, GInter: 1.0 / 11.0e9, GNic: 1.0 / 11.5e9,
+		LIntra: 0.30e-6, GIntra: 1.0 / 10.0e9, GMem: 1.0 / 40.0e9,
+		OSend: 0.30e-6, ORecv: 0.35e-6, OByte: 0.04e-9, Gamma: 1.0 / 7.0e9,
+		Eager: 16384, RendezvousL: 2.1e-6, Sigma: 0.05,
+	}
+	return Machine{Name: "SuperMUC-NG", MaxN: 48, MaxPPN: 48, Net: p, RefNet: p.Perturb(0.95, 1.05)}
+}
+
+// ByName returns the named machine profile.
+func ByName(name string) (Machine, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("machine: unknown machine %q", name)
+}
+
+// All returns every machine profile, ordered as in the paper's Table I.
+func All() []Machine {
+	return []Machine{Hydra(), Jupiter(), SuperMUCNG()}
+}
+
+// Names returns the sorted machine names.
+func Names() []string {
+	ms := All()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Topo returns a Topology for nodes × ppn on this machine, validating the
+// allocation against the machine limits.
+func (m Machine) Topo(nodes, ppn int) (netmodel.Topology, error) {
+	if nodes < 1 || nodes > m.MaxN {
+		return netmodel.Topology{}, fmt.Errorf("machine %s: node count %d out of range [1,%d]", m.Name, nodes, m.MaxN)
+	}
+	if ppn < 1 || ppn > m.MaxPPN {
+		return netmodel.Topology{}, fmt.Errorf("machine %s: ppn %d out of range [1,%d]", m.Name, ppn, m.MaxPPN)
+	}
+	return netmodel.Topology{Nodes: nodes, PPN: ppn}, nil
+}

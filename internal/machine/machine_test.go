@@ -1,0 +1,66 @@
+package machine
+
+import "testing"
+
+func TestAllMachinesDistinct(t *testing.T) {
+	ms := All()
+	if len(ms) != 3 {
+		t.Fatalf("expected 3 machines, got %d", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.MaxN <= 0 || m.MaxPPN <= 0 {
+			t.Errorf("%s: bad limits", m.Name)
+		}
+		if m.Net.LInter <= 0 || m.Net.GInter <= 0 || m.Net.Gamma <= 0 {
+			t.Errorf("%s: non-positive parameters", m.Name)
+		}
+		if m.RefNet == m.Net {
+			t.Errorf("%s: reference system must differ from the machine", m.Name)
+		}
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	h, j, s := Hydra(), Jupiter(), SuperMUCNG()
+	// Hydra (dual-rail OmniPath) has more node bandwidth than Jupiter (QDR).
+	if !(h.Net.GNic < j.Net.GNic) {
+		t.Error("Hydra should have lower per-byte NIC gap than Jupiter")
+	}
+	// Core counts per node: 16 (Jupiter) < 32 (Hydra) < 48 (SuperMUC-NG).
+	if !(j.MaxPPN < h.MaxPPN && h.MaxPPN < s.MaxPPN) {
+		t.Error("ppn ordering per Table I broken")
+	}
+	if j.MaxPPN != 16 || h.MaxPPN != 32 || s.MaxPPN != 48 {
+		t.Errorf("ppn values: got %d %d %d", j.MaxPPN, h.MaxPPN, s.MaxPPN)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Hydra"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown machine")
+	}
+}
+
+func TestTopoValidation(t *testing.T) {
+	h := Hydra()
+	if _, err := h.Topo(36, 32); err != nil {
+		t.Errorf("max allocation must be valid: %v", err)
+	}
+	if _, err := h.Topo(37, 32); err == nil {
+		t.Error("expected node range error")
+	}
+	if _, err := h.Topo(4, 33); err == nil {
+		t.Error("expected ppn range error")
+	}
+	if _, err := h.Topo(0, 1); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}

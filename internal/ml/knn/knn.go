@@ -1,0 +1,123 @@
+// Package knn implements k-nearest-neighbour regression with standardized
+// (z-scaled) inputs, matching the paper's caret setup: K = 5, Euclidean
+// distance, mean of the neighbours' running times. The paper scales inputs
+// because the message size otherwise dominates the distance metric.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Regressor is a KNN regression model.
+type Regressor struct {
+	k     int
+	mean  []float64
+	scale []float64
+	x     [][]float64 // scaled copies of the training rows
+	y     []float64
+}
+
+// New returns a KNN regressor with the paper's default K = 5.
+func New() *Regressor { return &Regressor{k: 5} }
+
+// NewK returns a KNN regressor with a custom neighbourhood size.
+func NewK(k int) *Regressor {
+	if k < 1 {
+		k = 1
+	}
+	return &Regressor{k: k}
+}
+
+// Fit stores the (scaled) training set.
+func (r *Regressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("knn: bad training set (%d rows, %d targets)", len(x), len(y))
+	}
+	d := len(x[0])
+	r.mean = make([]float64, d)
+	r.scale = make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			r.mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range r.mean {
+		r.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			dv := v - r.mean[j]
+			r.scale[j] += dv * dv
+		}
+	}
+	for j := range r.scale {
+		r.scale[j] = math.Sqrt(r.scale[j] / n)
+		if r.scale[j] == 0 {
+			r.scale[j] = 1 // constant feature: contributes nothing
+		}
+	}
+	r.x = make([][]float64, len(x))
+	for i, row := range x {
+		s := make([]float64, d)
+		for j, v := range row {
+			s[j] = (v - r.mean[j]) / r.scale[j]
+		}
+		r.x[i] = s
+	}
+	r.y = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict returns the mean running time of the k nearest training samples.
+func (r *Regressor) Predict(x []float64) float64 {
+	if len(r.x) == 0 {
+		return math.NaN()
+	}
+	q := make([]float64, len(x))
+	for j, v := range x {
+		q[j] = (v - r.mean[j]) / r.scale[j]
+	}
+	k := r.k
+	if k > len(r.x) {
+		k = len(r.x)
+	}
+	// Track the k smallest distances with a simple bounded insertion —
+	// k is 5, so this beats sorting all n distances.
+	type cand struct {
+		d float64
+		y float64
+	}
+	best := make([]cand, 0, k)
+	worst := math.Inf(1)
+	for i, row := range r.x {
+		d := 0.0
+		for j := range q {
+			dv := q[j] - row[j]
+			d += dv * dv
+		}
+		if len(best) < k {
+			best = append(best, cand{d, r.y[i]})
+			if len(best) == k {
+				sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+				worst = best[k-1].d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Insert in order, dropping the current worst.
+		pos := sort.Search(k, func(a int) bool { return best[a].d > d })
+		copy(best[pos+1:], best[pos:k-1])
+		best[pos] = cand{d, r.y[i]}
+		worst = best[k-1].d
+	}
+	sum := 0.0
+	for _, c := range best {
+		sum += c.y
+	}
+	return sum / float64(len(best))
+}

@@ -1,0 +1,104 @@
+package knn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactNeighborsMean(t *testing.T) {
+	// k=2 on a 1-D line: prediction at 0.1 must average the two nearest
+	// targets.
+	r := NewK(2)
+	x := [][]float64{{0}, {1}, {10}, {11}}
+	y := []float64{2, 4, 100, 200}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{0.1}); got != 3 {
+		t.Errorf("predict = %v, want 3", got)
+	}
+	if got := r.Predict([]float64{10.6}); got != 150 {
+		t.Errorf("predict = %v, want 150", got)
+	}
+}
+
+func TestScalingMakesFeaturesComparable(t *testing.T) {
+	// Feature 0 spans millions (like message sizes), feature 1 spans units
+	// (like node counts). Without scaling, feature 1 would be invisible.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		m := float64((i % 4) * 1000000)
+		n := float64(i % 10)
+		x = append(x, []float64{m, n})
+		y = append(y, n*10+1) // depends ONLY on the small feature
+	}
+	r := NewK(3)
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Probe with an m value present in training and an extreme n.
+	got := r.Predict([]float64{2000000, 9})
+	if math.Abs(got-91) > 15 {
+		t.Errorf("scaled KNN should track the small feature: got %v, want ~91", got)
+	}
+}
+
+func TestKLargerThanTrainingSet(t *testing.T) {
+	r := NewK(10)
+	if err := r.Fit([][]float64{{1}, {2}}, []float64{4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{1.5}); got != 5 {
+		t.Errorf("k>n should average everything: %v", got)
+	}
+}
+
+func TestDefaultKIsFive(t *testing.T) {
+	r := New()
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		x = append(x, []float64{float64(i)})
+		y = append(y, float64(i))
+	}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Neighbors of 0 are {0,1,2,3,4} -> mean 2.
+	if got := r.Predict([]float64{0}); got != 2 {
+		t.Errorf("k=5 mean = %v, want 2", got)
+	}
+}
+
+func TestConstantFeatureIgnored(t *testing.T) {
+	r := NewK(1)
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	y := []float64{1, 2, 3}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{5, 2.1}); got != 2 {
+		t.Errorf("nearest by informative feature = %v, want 2", got)
+	}
+}
+
+func TestUnfittedIsNaN(t *testing.T) {
+	if !math.IsNaN(New().Predict([]float64{1})) {
+		t.Error("unfitted KNN should return NaN")
+	}
+}
+
+func TestInsertionKeepsKSmallest(t *testing.T) {
+	// Regression test for the bounded-insertion logic: feed points in an
+	// order that exercises mid-list insertion.
+	r := NewK(3)
+	x := [][]float64{{10}, {1}, {7}, {2}, {8}, {3}}
+	y := []float64{1000, 10, 700, 20, 800, 30}
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{0}); got != 20 { // neighbors 1,2,3
+		t.Errorf("k-smallest selection broken: %v, want 20", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Package ml defines the regression-learner interface of the tuning
+// framework and a registry of the available learners: the three the paper
+// settles on (XGBoost, GAM, KNN) and the ones it rejected but which remain
+// useful for ablation (random forest, linear regression).
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regressor is a supervised learner predicting a positive running time from
+// a feature vector.
+type Regressor interface {
+	// Fit trains on rows x (one feature vector per sample) and targets y
+	// (running times, strictly positive).
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the estimated running time for one feature vector.
+	Predict(x []float64) float64
+}
+
+// Factory creates a fresh, unfitted Regressor with the out-of-the-box
+// hyper-parameters used throughout the paper (no tuning, by design).
+type Factory func() Regressor
+
+var registry = map[string]Factory{}
+
+// Register adds a learner factory under a name; called from init functions
+// of the learner subpackages via Use.
+func Register(name string, f Factory) { registry[name] = f }
+
+// New returns a fresh regressor of the named kind.
+func New(name string) (Regressor, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown learner %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered learners, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperLearners returns the three learners evaluated in the paper, in the
+// order of Table IV.
+func PaperLearners() []string { return []string{"knn", "gam", "xgboost"} }
+
+func validate(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: bad training set: %d rows, %d targets", len(x), len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return fmt.Errorf("ml: empty feature vectors")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, v := range y {
+		if !(v > 0) {
+			return fmt.Errorf("ml: target %d is %g; running times must be positive", i, v)
+		}
+	}
+	return nil
+}

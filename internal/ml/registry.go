@@ -1,0 +1,31 @@
+package ml
+
+import (
+	"mpicollpred/internal/ml/gam"
+	"mpicollpred/internal/ml/knn"
+	"mpicollpred/internal/ml/linreg"
+	"mpicollpred/internal/ml/rf"
+	"mpicollpred/internal/ml/xgb"
+)
+
+// The learner registry. The first three are the learners the paper settles
+// on; "rf" and "linear" are the rejected baselines kept for ablation.
+func init() {
+	Register("knn", func() Regressor { return validated{knn.New()} })
+	Register("gam", func() Regressor { return validated{gam.New()} })
+	Register("xgboost", func() Regressor { return validated{xgb.New()} })
+	Register("rf", func() Regressor { return validated{rf.New()} })
+	Register("linear", func() Regressor { return validated{linreg.New()} })
+}
+
+// validated wraps a learner with the shared input validation.
+type validated struct {
+	Regressor
+}
+
+func (v validated) Fit(x [][]float64, y []float64) error {
+	if err := validate(x, y); err != nil {
+		return err
+	}
+	return v.Regressor.Fit(x, y)
+}

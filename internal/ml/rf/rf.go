@@ -1,0 +1,96 @@
+// Package rf implements a random-forest regressor on log running times.
+// Random forests were the learner of the authors' earlier work ([9],
+// PMBS 2018); the paper found them weaker than XGBoost/GAM/KNN on larger
+// dataset collections, so this implementation exists for the ablation
+// benchmarks that reproduce that comparison.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"mpicollpred/internal/ml/tree"
+	"mpicollpred/internal/sim"
+)
+
+// Options controls the forest.
+type Options struct {
+	NumTrees int
+	MaxDepth int
+	MinLeaf  int
+	// MTry features per split; 0 = d/3 (regression default).
+	MTry int
+	Seed uint64
+}
+
+// DefaultOptions returns standard out-of-the-box forest settings.
+func DefaultOptions() Options {
+	return Options{NumTrees: 100, MaxDepth: 20, MinLeaf: 2, Seed: 1}
+}
+
+// Regressor is a fitted forest.
+type Regressor struct {
+	opts  Options
+	trees []*tree.Tree
+}
+
+// New returns a forest with default options.
+func New() *Regressor { return &Regressor{opts: DefaultOptions()} }
+
+// NewWith returns a forest with explicit options.
+func NewWith(opts Options) *Regressor {
+	if opts.NumTrees < 1 {
+		opts.NumTrees = 1
+	}
+	return &Regressor{opts: opts}
+}
+
+// Fit trains the forest on log targets (bagging + feature subsampling).
+func (r *Regressor) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("rf: bad training set (%d rows, %d targets)", len(x), len(y))
+	}
+	logy := make([]float64, len(y))
+	for i, v := range y {
+		if !(v > 0) {
+			return fmt.Errorf("rf: target %d = %g; must be positive", i, v)
+		}
+		logy[i] = math.Log(v)
+	}
+	n := len(x)
+	mtry := r.opts.MTry
+	if mtry <= 0 {
+		// 2/3 of the features: with the paper's 3-4 feature vectors the
+		// classic d/3 rule would leave a single feature per split, which
+		// decorrelates the trees into noise.
+		mtry = (2*len(x[0]) + 2) / 3
+	}
+	rng := sim.NewRNG(sim.Seed(r.opts.Seed, 0xF0537))
+	r.trees = r.trees[:0]
+	idx := make([]int, n)
+	for t := 0; t < r.opts.NumTrees; t++ {
+		for i := range idx {
+			idx[i] = rng.Intn(n) // bootstrap sample
+		}
+		tr := tree.BuildVariance(x, logy, idx, tree.Options{
+			MaxDepth: r.opts.MaxDepth,
+			MinLeaf:  r.opts.MinLeaf,
+			MTry:     mtry,
+			RNG:      rng,
+		})
+		r.trees = append(r.trees, tr)
+	}
+	return nil
+}
+
+// Predict returns exp(mean of the trees' log-time predictions).
+func (r *Regressor) Predict(x []float64) float64 {
+	if len(r.trees) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, t := range r.trees {
+		s += t.Predict(x)
+	}
+	return math.Exp(s / float64(len(r.trees)))
+}

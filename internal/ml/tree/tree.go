@@ -1,0 +1,261 @@
+// Package tree implements CART-style regression trees, the shared substrate
+// of the Random Forest and XGBoost learners. Trees can be grown either by
+// variance reduction on raw targets (random forest) or by the second-order
+// gain criterion on gradient/hessian statistics (gradient boosting).
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"mpicollpred/internal/sim"
+)
+
+// Options controls tree growth.
+type Options struct {
+	MaxDepth int     // maximum depth; root is depth 0
+	MinLeaf  int     // minimum samples per leaf (variance mode)
+	Lambda   float64 // L2 regularization on leaf values (grad/hess mode)
+	Gamma    float64 // minimum gain to split (grad/hess mode)
+	MinChild float64 // minimum hessian sum per child (grad/hess mode)
+	// MTry > 0 samples that many candidate features per node (random
+	// forest decorrelation); 0 considers all features.
+	MTry int
+	// RNG drives feature subsampling when MTry > 0.
+	RNG *sim.RNG
+}
+
+type node struct {
+	feature int // -1 for leaf
+	thresh  float64
+	left    int32
+	right   int32
+	value   float64
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	nodes []node
+}
+
+// Predict returns the tree's response for a feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes returns the number of nodes, a rough model-complexity measure.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// builder carries the growth state.
+type builder struct {
+	x    [][]float64
+	opts Options
+	// grad/hess mode:
+	g, h []float64
+	// variance mode:
+	y []float64
+
+	nodes []node
+}
+
+// BuildVariance grows a tree minimizing squared error of y over the sample
+// index set idx.
+func BuildVariance(x [][]float64, y []float64, idx []int, opts Options) *Tree {
+	if opts.MinLeaf < 1 {
+		opts.MinLeaf = 1
+	}
+	b := &builder{x: x, y: y, opts: opts}
+	b.grow(idx, 0, false)
+	return &Tree{nodes: b.nodes}
+}
+
+// BuildGradHess grows a tree maximizing the XGBoost split gain for the
+// gradient/hessian statistics over idx. Leaf values are -G/(H+lambda).
+func BuildGradHess(x [][]float64, g, h []float64, idx []int, opts Options) *Tree {
+	if opts.MinChild <= 0 {
+		opts.MinChild = 1e-12
+	}
+	b := &builder{x: x, g: g, h: h, opts: opts}
+	b.grow(idx, 0, true)
+	return &Tree{nodes: b.nodes}
+}
+
+// grow appends the subtree for idx and returns its node index.
+func (b *builder) grow(idx []int, depth int, gradMode bool) int32 {
+	me := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{feature: -1})
+
+	if gradMode {
+		var G, H float64
+		for _, i := range idx {
+			G += b.g[i]
+			H += b.h[i]
+		}
+		b.nodes[me].value = -G / (H + b.opts.Lambda)
+		if depth >= b.opts.MaxDepth || len(idx) < 2 {
+			return me
+		}
+		feat, thresh, ok := b.bestSplitGrad(idx, G, H)
+		if !ok {
+			return me
+		}
+		left, right := partition(b.x, idx, feat, thresh)
+		b.nodes[me].feature = feat
+		b.nodes[me].thresh = thresh
+		l := b.grow(left, depth+1, true)
+		r := b.grow(right, depth+1, true)
+		b.nodes[me].left = l
+		b.nodes[me].right = r
+		return me
+	}
+
+	var sum float64
+	for _, i := range idx {
+		sum += b.y[i]
+	}
+	b.nodes[me].value = sum / float64(len(idx))
+	if depth >= b.opts.MaxDepth || len(idx) < 2*b.opts.MinLeaf {
+		return me
+	}
+	feat, thresh, ok := b.bestSplitVar(idx, sum)
+	if !ok {
+		return me
+	}
+	left, right := partition(b.x, idx, feat, thresh)
+	b.nodes[me].feature = feat
+	b.nodes[me].thresh = thresh
+	l := b.grow(left, depth+1, false)
+	r := b.grow(right, depth+1, false)
+	b.nodes[me].left = l
+	b.nodes[me].right = r
+	return me
+}
+
+// features returns the candidate feature set for one node.
+func (b *builder) features() []int {
+	d := len(b.x[0])
+	if b.opts.MTry <= 0 || b.opts.MTry >= d || b.opts.RNG == nil {
+		out := make([]int, d)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Partial Fisher-Yates over feature indices.
+	perm := make([]int, d)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < b.opts.MTry; i++ {
+		j := i + b.opts.RNG.Intn(d-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:b.opts.MTry]
+}
+
+type featSorter struct {
+	vals []float64
+	idx  []int
+}
+
+func (s *featSorter) Len() int           { return len(s.idx) }
+func (s *featSorter) Less(i, j int) bool { return s.vals[i] < s.vals[j] }
+func (s *featSorter) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}
+
+// bestSplitVar finds the variance-reduction-optimal (feature, threshold).
+func (b *builder) bestSplitVar(idx []int, total float64) (int, float64, bool) {
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	n := len(idx)
+	vals := make([]float64, n)
+	order := make([]int, n)
+	parentScore := total * total / float64(n)
+	for _, f := range b.features() {
+		copy(order, idx)
+		for i, s := range order {
+			vals[i] = b.x[s][f]
+		}
+		sort.Sort(&featSorter{vals, order})
+		sumL := 0.0
+		for i := 0; i < n-1; i++ {
+			sumL += b.y[order[i]]
+			if vals[i] == vals[i+1] {
+				continue
+			}
+			nl, nr := i+1, n-i-1
+			if nl < b.opts.MinLeaf || nr < b.opts.MinLeaf {
+				continue
+			}
+			sumR := total - sumL
+			gain := sumL*sumL/float64(nl) + sumR*sumR/float64(nr) - parentScore
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[i] + vals[i+1]) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+// bestSplitGrad finds the XGBoost-gain-optimal (feature, threshold).
+func (b *builder) bestSplitGrad(idx []int, G, H float64) (int, float64, bool) {
+	lambda := b.opts.Lambda
+	parent := G * G / (H + lambda)
+	bestGain := b.opts.Gamma
+	bestFeat, bestThresh := -1, 0.0
+	n := len(idx)
+	vals := make([]float64, n)
+	order := make([]int, n)
+	for _, f := range b.features() {
+		copy(order, idx)
+		for i, s := range order {
+			vals[i] = b.x[s][f]
+		}
+		sort.Sort(&featSorter{vals, order})
+		gl, hl := 0.0, 0.0
+		for i := 0; i < n-1; i++ {
+			gl += b.g[order[i]]
+			hl += b.h[order[i]]
+			if vals[i] == vals[i+1] {
+				continue
+			}
+			gr, hr := G-gl, H-hl
+			if hl < b.opts.MinChild || hr < b.opts.MinChild {
+				continue
+			}
+			gain := gl*gl/(hl+lambda) + gr*gr/(hr+lambda) - parent
+			if gain > bestGain+1e-12 && !math.IsNaN(gain) {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[i] + vals[i+1]) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+func partition(x [][]float64, idx []int, feat int, thresh float64) (left, right []int) {
+	for _, i := range idx {
+		if x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,255 @@
+package mpilib
+
+import (
+	"mpicollpred/internal/coll"
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/netmodel"
+)
+
+// Segment-size grid used throughout the Open MPI profile; the values match
+// the paper ("we tested MPI_Bcast in d1 with the following segment sizes in
+// KB: 1, 4, 16, 64, and 128").
+var ompiSegs = []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
+
+// OpenMPI returns the Open MPI 4.0.2-like library profile.
+func OpenMPI() *Library {
+	return &Library{
+		Name:    "Open MPI",
+		Version: "4.0.2",
+		collectives: map[string]*CollectiveSet{
+			Bcast:     ompiBcast(),
+			Allreduce: ompiAllreduce(),
+			Alltoall:  ompiAlltoall(),
+			Reduce:    ompiReduce(),
+			Allgather: ompiAllgather(),
+			Gather:    ompiGather(),
+			Scatter:   ompiScatter(),
+		},
+	}
+}
+
+// ompiBcast mirrors Open MPI 4.0.2's nine broadcast algorithms:
+// 1 basic_linear, 2 chain, 3 pipeline, 4 split_binary_tree, 5 binary_tree,
+// 6 binomial, 7 knomial, 8 scatter_allgather (buggy in 4.0.2 per the paper,
+// hence excluded from tuning), 9 scatter_allgather_ring.
+func ompiBcast() *CollectiveSet {
+	s := &CollectiveSet{Coll: Bcast, NumAlgs: 9}
+	add := func(algID int, name string, g coll.Generator, prm coll.Params, excluded bool) {
+		s.Configs = append(s.Configs, Config{
+			ID: len(s.Configs) + 1, AlgID: algID, Name: name, Params: prm, Gen: g, Excluded: excluded,
+		})
+	}
+	add(1, "basic_linear", coll.BcastLinear, coll.Params{}, false)
+	for _, seg := range ompiSegs {
+		for _, ch := range []int{2, 4, 8, 16} {
+			add(2, "chain", coll.BcastChain, coll.Params{Seg: seg, Fanout: ch}, false)
+		}
+	}
+	for _, seg := range ompiSegs {
+		add(3, "pipeline", coll.BcastPipeline, coll.Params{Seg: seg}, false)
+	}
+	for _, seg := range ompiSegs {
+		add(4, "split_binary_tree", coll.BcastSplitBinary, coll.Params{Seg: seg}, false)
+	}
+	for _, seg := range ompiSegs {
+		add(5, "binary_tree", coll.BcastBinary, coll.Params{Seg: seg}, false)
+	}
+	add(6, "binomial", coll.BcastBinomial, coll.Params{}, false)
+	for _, seg := range ompiSegs {
+		add(6, "binomial", coll.BcastBinomial, coll.Params{Seg: seg}, false)
+	}
+	for _, radix := range []int{3, 4, 8} {
+		add(7, "knomial", coll.BcastKnomial, coll.Params{Fanout: radix}, false)
+	}
+	add(8, "scatter_allgather", coll.BcastScatterAllgather, coll.Params{}, true)
+	add(9, "scatter_allgather_ring", coll.BcastScatterRingAllgather, coll.Params{}, false)
+
+	// Fixed decision rules in the spirit of coll_tuned_decision_fixed.c:
+	// machine-independent thresholds on communicator and message size.
+	// They pick sane algorithm families but with parameters frozen long
+	// ago on a different machine, so a per-machine tuner retains a clear
+	// margin — the situation the paper quantifies.
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		p := topo.P()
+		switch {
+		case p < 4:
+			if m < 32768 {
+				return s.findConfig(1, coll.Params{})
+			}
+			return s.findConfig(3, coll.Params{Seg: 64 << 10})
+		case m < 2048:
+			return s.findConfig(6, coll.Params{})
+		case m < 16384:
+			return s.findConfig(6, coll.Params{Seg: 1 << 10})
+		case m < 65536:
+			return s.findConfig(4, coll.Params{Seg: 4 << 10})
+		case m < 524288:
+			return s.findConfig(5, coll.Params{Seg: 16 << 10})
+		case p >= 256:
+			return s.findConfig(6, coll.Params{Seg: 64 << 10})
+		default:
+			return s.findConfig(2, coll.Params{Seg: 64 << 10, Fanout: 8})
+		}
+	}
+	return s
+}
+
+// ompiAllreduce mirrors Open MPI's allreduce portfolio: 1 basic_linear,
+// 2 nonoverlapping (reduce+bcast), 3 recursive_doubling, 4 ring,
+// 5 segmented_ring, 6 rabenseifner, 7 allgather_reduce.
+func ompiAllreduce() *CollectiveSet {
+	s := &CollectiveSet{Coll: Allreduce, NumAlgs: 7}
+	add := func(algID int, name string, g coll.Generator, prm coll.Params) {
+		s.Configs = append(s.Configs, Config{
+			ID: len(s.Configs) + 1, AlgID: algID, Name: name, Params: prm, Gen: g,
+		})
+	}
+	add(1, "basic_linear", coll.AllreduceLinear, coll.Params{})
+	add(2, "nonoverlapping", coll.AllreduceNonoverlapping, coll.Params{})
+	add(3, "recursive_doubling", coll.AllreduceRecursiveDoubling, coll.Params{})
+	add(4, "ring", coll.AllreduceRing, coll.Params{})
+	for _, seg := range ompiSegs {
+		add(5, "segmented_ring", coll.AllreduceSegmentedRing, coll.Params{Seg: seg})
+	}
+	add(6, "rabenseifner", coll.AllreduceRabenseifner, coll.Params{})
+	add(7, "allgather_reduce", coll.AllreduceAllgatherReduce, coll.Params{})
+
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		p := topo.P()
+		switch {
+		case p < 4:
+			if m < 65536 {
+				return s.findConfig(3, coll.Params{})
+			}
+			return s.findConfig(4, coll.Params{})
+		case m < 32768:
+			return s.findConfig(3, coll.Params{})
+		case m < 524288:
+			return s.findConfig(4, coll.Params{})
+		default:
+			return s.findConfig(5, coll.Params{Seg: 128 << 10})
+		}
+	}
+	return s
+}
+
+// ompiReduce: 1 basic_linear, 2 binomial, 3 knomial, 4 pipeline (segmented
+// binomial).
+func ompiReduce() *CollectiveSet {
+	s := &CollectiveSet{Coll: Reduce, NumAlgs: 4}
+	add := func(algID int, name string, g coll.Generator, prm coll.Params) {
+		s.Configs = append(s.Configs, Config{
+			ID: len(s.Configs) + 1, AlgID: algID, Name: name, Params: prm, Gen: g,
+		})
+	}
+	add(1, "basic_linear", coll.ReduceLinear, coll.Params{})
+	add(2, "binomial", coll.ReduceBinomial, coll.Params{})
+	for _, radix := range []int{3, 4, 8} {
+		add(3, "knomial", coll.ReduceKnomial, coll.Params{Fanout: radix})
+	}
+	for _, seg := range ompiSegs {
+		add(4, "pipeline", coll.ReducePipelined, coll.Params{Seg: seg})
+	}
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		switch {
+		case topo.P() < 4 && m < 65536:
+			return s.findConfig(1, coll.Params{})
+		case m < 16384:
+			return s.findConfig(2, coll.Params{})
+		default:
+			return s.findConfig(4, coll.Params{Seg: 64 << 10})
+		}
+	}
+	return s
+}
+
+// ompiAllgather: 1 basic_linear, 2 bruck, 3 recursive_doubling, 4 ring,
+// 5 neighbor exchange.
+func ompiAllgather() *CollectiveSet {
+	s := &CollectiveSet{Coll: Allgather, NumAlgs: 5}
+	add := func(algID int, name string, g coll.Generator, prm coll.Params) {
+		s.Configs = append(s.Configs, Config{
+			ID: len(s.Configs) + 1, AlgID: algID, Name: name, Params: prm, Gen: g,
+		})
+	}
+	add(1, "basic_linear", coll.AllgatherLinear, coll.Params{})
+	add(2, "bruck", coll.AllgatherBruck, coll.Params{})
+	add(3, "recursive_doubling", coll.AllgatherRecursiveDoubling, coll.Params{})
+	add(4, "ring", coll.AllgatherRing, coll.Params{})
+	add(5, "neighbor", coll.AllgatherNeighborExchange, coll.Params{})
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		p := topo.P()
+		switch {
+		case m < 1024 && p >= 12:
+			return s.findConfig(2, coll.Params{})
+		case m < 65536:
+			return s.findConfig(3, coll.Params{})
+		default:
+			return s.findConfig(4, coll.Params{})
+		}
+	}
+	return s
+}
+
+// ompiGather: 1 basic_linear, 2 binomial.
+func ompiGather() *CollectiveSet {
+	s := &CollectiveSet{Coll: Gather, NumAlgs: 2}
+	s.Configs = []Config{
+		{ID: 1, AlgID: 1, Name: "basic_linear", Gen: coll.GatherLinear},
+		{ID: 2, AlgID: 2, Name: "binomial", Gen: coll.GatherBinomial},
+	}
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		if topo.P() < 8 || m >= 65536 {
+			return 1
+		}
+		return 2
+	}
+	return s
+}
+
+// ompiScatter: 1 basic_linear, 2 binomial.
+func ompiScatter() *CollectiveSet {
+	s := &CollectiveSet{Coll: Scatter, NumAlgs: 2}
+	s.Configs = []Config{
+		{ID: 1, AlgID: 1, Name: "basic_linear", Gen: coll.ScatterLinear},
+		{ID: 2, AlgID: 2, Name: "binomial", Gen: coll.ScatterBinomial},
+	}
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		if topo.P() < 8 || m >= 65536 {
+			return 1
+		}
+		return 2
+	}
+	return s
+}
+
+// ompiAlltoall: 1 basic_linear, 2 pairwise, 3 bruck, 4 linear_sync
+// (windowed). Not used by the paper's Open MPI datasets but provided for
+// completeness (the tooling accepts any library/collective combination).
+func ompiAlltoall() *CollectiveSet {
+	s := &CollectiveSet{Coll: Alltoall, NumAlgs: 4}
+	add := func(algID int, name string, g coll.Generator, prm coll.Params) {
+		s.Configs = append(s.Configs, Config{
+			ID: len(s.Configs) + 1, AlgID: algID, Name: name, Params: prm, Gen: g,
+		})
+	}
+	add(1, "basic_linear", coll.AlltoallLinear, coll.Params{})
+	add(2, "pairwise", coll.AlltoallPairwise, coll.Params{})
+	add(3, "bruck", coll.AlltoallBruck, coll.Params{})
+	for _, w := range []int{4, 8, 16, 32} {
+		add(4, "linear_sync", coll.AlltoallSpread, coll.Params{Fanout: w})
+	}
+
+	s.decide = func(_ machine.Machine, topo netmodel.Topology, m int64) int {
+		p := topo.P()
+		switch {
+		case m < 256 && p >= 12:
+			return s.findConfig(3, coll.Params{})
+		case m < 8192:
+			return s.findConfig(1, coll.Params{})
+		default:
+			return s.findConfig(2, coll.Params{})
+		}
+	}
+	return s
+}

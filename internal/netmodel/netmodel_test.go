@@ -1,0 +1,190 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"mpicollpred/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		LInter: 1.5e-6, GInter: 1.0 / 10e9, GNic: 1.0 / 12e9,
+		LIntra: 0.4e-6, GIntra: 1.0 / 8e9, GMem: 1.0 / 30e9,
+		OSend: 0.3e-6, ORecv: 0.35e-6, OByte: 0.05e-9, Gamma: 1.0 / 6e9,
+		Eager: 16384, RendezvousL: 3e-6, Sigma: 0.05,
+	}
+}
+
+func TestIntraFasterThanInter(t *testing.T) {
+	topo := Topology{Nodes: 2, PPN: 2} // ranks 0,1 on node 0; 2,3 on node 1
+	m := New(testParams(), topo, 1, false)
+	_, arrIntra := m.SendEager(0, 1, 1024, 0)
+	m.Reset(1)
+	_, arrInter := m.SendEager(0, 2, 1024, 0)
+	if arrIntra >= arrInter {
+		t.Errorf("intra-node arrival %v should beat inter-node %v", arrIntra, arrInter)
+	}
+}
+
+func TestNicSerializationScalesWithSenders(t *testing.T) {
+	// ppn concurrent off-node messages from one node must serialize on the
+	// NIC: the last arrival grows with the number of senders.
+	prm := testParams()
+	last := 0.0
+	for _, k := range []int{1, 4, 8} {
+		topo := Topology{Nodes: 9, PPN: 8}
+		m := New(prm, topo, 1, false)
+		worst := 0.0
+		for i := 0; i < k; i++ {
+			// rank i on node 0 sends to rank on node i+1
+			_, arr := m.SendEager(int32(i), int32((i+1)*8), 8192, 0)
+			if arr > worst {
+				worst = arr
+			}
+		}
+		if worst <= last {
+			t.Errorf("k=%d: worst arrival %v did not grow beyond %v", k, worst, last)
+		}
+		last = worst
+	}
+}
+
+func TestEagerThreshold(t *testing.T) {
+	m := New(testParams(), Topology{Nodes: 2, PPN: 1}, 1, false)
+	if !m.Eager(16383) {
+		t.Error("message below threshold must be eager")
+	}
+	if m.Eager(16384) {
+		t.Error("message at threshold must be rendezvous")
+	}
+}
+
+func TestRendezvousWaitsForReceiver(t *testing.T) {
+	m := New(testParams(), Topology{Nodes: 2, PPN: 1}, 1, false)
+	_, arrEarly := m.SendRendezvous(0, 1, 1<<20, 0, 0)
+	m.Reset(1)
+	_, arrLate := m.SendRendezvous(0, 1, 1<<20, 0, 5e-3)
+	if arrLate <= arrEarly {
+		t.Errorf("late receiver should delay arrival: %v vs %v", arrLate, arrEarly)
+	}
+	if arrLate < 5e-3 {
+		t.Errorf("arrival %v cannot precede receiver post at 5ms", arrLate)
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	prm := testParams()
+	topo := Topology{Nodes: 2, PPN: 1}
+	a1 := New(prm, topo, 42, true)
+	a2 := New(prm, topo, 42, true)
+	b := New(prm, topo, 43, true)
+	_, x1 := a1.SendEager(0, 1, 4096, 0)
+	_, x2 := a2.SendEager(0, 1, 4096, 0)
+	_, y := b.SendEager(0, 1, 4096, 0)
+	if x1 != x2 {
+		t.Error("same seed must give identical times")
+	}
+	if x1 == y {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNoiseFreeIsExact(t *testing.T) {
+	prm := testParams()
+	topo := Topology{Nodes: 2, PPN: 1}
+	m := New(prm, topo, 1, false)
+	_, arr := m.SendEager(0, 1, 10000, 0)
+	ready := prm.OSend + 10000*prm.OByte
+	want := ready + prm.LInter + 10000*prm.GInter
+	if math.Abs(arr-want) > 1e-15 {
+		t.Errorf("noise-free arrival = %v, want %v", arr, want)
+	}
+}
+
+func TestResetClearsResources(t *testing.T) {
+	prm := testParams()
+	topo := Topology{Nodes: 2, PPN: 2}
+	m := New(prm, topo, 1, false)
+	_, a1 := m.SendEager(0, 2, 1<<13, 0)
+	_, a2 := m.SendEager(1, 3, 1<<13, 0) // NIC now busy: later
+	if a2 <= a1 {
+		t.Fatal("expected NIC serialization on second send")
+	}
+	m.Reset(1)
+	_, a3 := m.SendEager(0, 2, 1<<13, 0)
+	if a3 != a1 {
+		t.Errorf("after Reset, first send should repeat exactly: %v vs %v", a3, a1)
+	}
+}
+
+func TestPerturbScalesParams(t *testing.T) {
+	p := testParams()
+	q := p.Perturb(0.9, 1.1)
+	if q.LInter >= p.LInter || q.GInter <= p.GInter {
+		t.Error("Perturb factors not applied")
+	}
+	if q.OSend != p.OSend || q.Eager != p.Eager {
+		t.Error("Perturb must not touch CPU/protocol params")
+	}
+}
+
+func TestTopologyLayout(t *testing.T) {
+	topo := Topology{Nodes: 3, PPN: 4}
+	if topo.P() != 12 {
+		t.Fatalf("P = %d", topo.P())
+	}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(11) != 2 {
+		t.Error("block placement broken")
+	}
+	if !topo.SameNode(4, 7) || topo.SameNode(3, 4) {
+		t.Error("SameNode broken")
+	}
+}
+
+func TestCyclicPlacement(t *testing.T) {
+	topo := Topology{Nodes: 3, PPN: 4, Cyclic: true}
+	// Round-robin: ranks 0,3,6,9 on node 0; 1,4,7,10 on node 1; etc.
+	if topo.NodeOf(0) != 0 || topo.NodeOf(3) != 0 || topo.NodeOf(4) != 1 || topo.NodeOf(11) != 2 {
+		t.Error("cyclic placement broken")
+	}
+	if topo.SameNode(0, 1) || !topo.SameNode(2, 5) {
+		t.Error("cyclic SameNode broken")
+	}
+	// Consecutive ranks are now inter-node: a message 0->1 pays network
+	// cost, unlike block placement.
+	cy := New(testParams(), topo, 1, false)
+	bl := New(testParams(), Topology{Nodes: 3, PPN: 4}, 1, false)
+	_, arrCyclic := cy.SendEager(0, 1, 1024, 0)
+	_, arrBlock := bl.SendEager(0, 1, 1024, 0)
+	if arrCyclic <= arrBlock {
+		t.Errorf("rank 0->1 should be slower under cyclic placement: %v vs %v", arrCyclic, arrBlock)
+	}
+}
+
+func TestModelDrivesEngine(t *testing.T) {
+	// End-to-end smoke: run a small broadcast-like schedule through the
+	// engine with this model; times must be positive, finite and
+	// reproducible.
+	topo := Topology{Nodes: 2, PPN: 2}
+	run := func() float64 {
+		b := sim.NewBuilder(4, false)
+		for r := 1; r < 4; r++ {
+			b.Send(0, r, 4096)
+			b.Recv(r, 0, 4096)
+		}
+		m := New(testParams(), topo, 99, true)
+		res, err := sim.NewEngine().Run(b.Build(), m, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	t1, t2 := run(), run()
+	if t1 <= 0 || math.IsInf(t1, 0) || math.IsNaN(t1) {
+		t.Fatalf("bad time %v", t1)
+	}
+	if t1 != t2 {
+		t.Errorf("simulation not reproducible: %v vs %v", t1, t2)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine throughput benchmarks: the simulator's events/second determine how
+// large a Table II grid is practical, so regressions here matter as much as
+// correctness.
+
+func buildRing(p, steps int) *Program {
+	b := NewBuilder(p, false)
+	for s := 0; s < steps; s++ {
+		for r := 0; r < p; r++ {
+			b.SendRecv(r, (r+1)%p, 1024, (r-1+p)%p, 1024)
+		}
+	}
+	return b.Build()
+}
+
+func buildTree(p, segs int) *Program {
+	b := NewBuilder(p, false)
+	for s := 0; s < segs; s++ {
+		for r := 0; r < p; r++ {
+			if r > 0 {
+				parent := r
+				// clear lowest set bit -> binomial parent
+				parent = r & (r - 1)
+				b.Recv(r, parent, 4096)
+			}
+			for mask := 1; mask < p; mask <<= 1 {
+				if r&(mask-1) == 0 && r&mask == 0 && r+mask < p {
+					b.Send(r, r+mask, 4096)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func benchProgram(b *testing.B, prog *Program) {
+	b.Helper()
+	model := newTestModel()
+	eng := NewEngine()
+	b.ResetTimer()
+	totalEvents := 0
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(prog, model, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+	}
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkEngineRing(b *testing.B) {
+	for _, p := range []int{64, 512} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchProgram(b, buildRing(p, 2*(p-1)))
+		})
+	}
+}
+
+func BenchmarkEngineBinomialPipelined(b *testing.B) {
+	for _, p := range []int{64, 512} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchProgram(b, buildTree(p, 64))
+		})
+	}
+}
+
+func BenchmarkBuilderAppend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(64, false)
+		bd.Reserve(128)
+		for s := 0; s < 64; s++ {
+			for r := 0; r < 63; r++ {
+				bd.Send(r, r+1, 1024)
+				bd.Recv(r+1, r, 1024)
+			}
+		}
+		if bd.Build().NumOps() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}

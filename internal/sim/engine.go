@@ -1,0 +1,459 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CostModel supplies the timing semantics of the simulated network and CPUs.
+// Implementations may be stateful per run (e.g. per-node NIC availability);
+// the Engine calls the Send methods in nondecreasing simulated-time order of
+// the posting events.
+type CostModel interface {
+	// Eager reports whether a message of the given size uses the eager
+	// protocol (sender does not wait for the receiver).
+	Eager(bytes uint32) bool
+	// SendEager models an eager message posted at time t. It returns the
+	// time at which the sender may proceed and the time at which the full
+	// message has arrived at the receiver.
+	SendEager(src, dst int32, bytes uint32, t float64) (senderDone, arrival float64)
+	// SendRendezvous models a rendezvous message whose sender posted at ts
+	// and whose receiver posted the matching receive at tr. It returns the
+	// sender-resume time and the data arrival time at the receiver.
+	SendRendezvous(src, dst int32, bytes uint32, ts, tr float64) (senderDone, arrival float64)
+	// RecvOverhead is the receiver CPU cost charged after arrival.
+	RecvOverhead(bytes uint32) float64
+	// PostOverhead is the sender CPU cost of posting a non-blocking send.
+	PostOverhead(bytes uint32) float64
+	// Compute is the local computation cost for an OpCompute of bytes.
+	Compute(bytes uint32) float64
+}
+
+// Observer receives data-flow callbacks during execution; used by Tracker to
+// verify schedule semantics. A nil Observer disables the callbacks.
+type Observer interface {
+	// OnSend is called when rank src executes a send carrying pay.
+	OnSend(src int32, pay []PayUnit) error
+	// OnDeliver is called when the message carrying pay is matched at dst.
+	OnDeliver(dst int32, pay []PayUnit) error
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Finish holds each rank's completion time.
+	Finish []float64
+	// Time is the makespan: max(Finish) - min(start).
+	Time float64
+	// Events is the number of executed operations.
+	Events int
+}
+
+type rankStatus uint8
+
+const (
+	statusReady rankStatus = iota
+	statusBlockedRecv
+	statusBlockedSend
+	statusDone
+)
+
+type msgRec struct {
+	ts       float64 // post time (rendezvous) or arrival time (eager)
+	bytes    uint32
+	payStart int32
+	payLen   int16
+	eager    bool
+	nb       bool // rendezvous posted by a non-blocking send: no sender to wake
+}
+
+type pairState struct {
+	inflight []msgRec
+	head     int // index of first unconsumed inflight record
+	// Parked receiver (at most one per pair, since receives block).
+	waiting   bool
+	recvPost  float64
+	recvBytes uint32
+}
+
+// Engine executes Programs. It is reusable across runs (per-run state is
+// reset by Run) but not safe for concurrent use.
+type Engine struct {
+	clock  []float64
+	pc     []int
+	status []rankStatus
+	heap   timeHeap
+	pairs  map[uint64]*pairState
+	// Direct-mapped caches of the last send/recv pair per rank: collective
+	// schedules talk to the same peer many times in a row, making the map
+	// lookup the hot path otherwise.
+	sendPeer []int32
+	sendPair []*pairState
+	recvPeer []int32
+	recvPair []*pairState
+
+	prog  *Program
+	model CostModel
+	obs   Observer
+	done  int
+}
+
+// NewEngine returns an empty Engine.
+func NewEngine() *Engine { return &Engine{} }
+
+func pairKey(src, dst int32) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
+func (e *Engine) sendPairOf(src, dst int32) *pairState {
+	if e.sendPeer[src] == dst {
+		return e.sendPair[src]
+	}
+	ps := e.pairOf(src, dst)
+	e.sendPeer[src] = dst
+	e.sendPair[src] = ps
+	return ps
+}
+
+func (e *Engine) recvPairOf(src, dst int32) *pairState {
+	if e.recvPeer[dst] == src {
+		return e.recvPair[dst]
+	}
+	ps := e.pairOf(src, dst)
+	e.recvPeer[dst] = src
+	e.recvPair[dst] = ps
+	return ps
+}
+
+func (e *Engine) pairOf(src, dst int32) *pairState {
+	k := pairKey(src, dst)
+	if ps, ok := e.pairs[k]; ok {
+		return ps
+	}
+	ps := &pairState{}
+	e.pairs[k] = ps
+	return ps
+}
+
+// Run executes prog against model. start gives per-rank start times (nil
+// means all ranks start at time zero). obs may be nil.
+func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observer) (Result, error) {
+	p := prog.NumRanks()
+	if cap(e.clock) < p {
+		e.clock = make([]float64, p)
+		e.pc = make([]int, p)
+		e.status = make([]rankStatus, p)
+		e.sendPeer = make([]int32, p)
+		e.sendPair = make([]*pairState, p)
+		e.recvPeer = make([]int32, p)
+		e.recvPair = make([]*pairState, p)
+	}
+	e.clock = e.clock[:p]
+	e.pc = e.pc[:p]
+	e.status = e.status[:p]
+	e.sendPeer = e.sendPeer[:p]
+	e.sendPair = e.sendPair[:p]
+	e.recvPeer = e.recvPeer[:p]
+	e.recvPair = e.recvPair[:p]
+	for i := 0; i < p; i++ {
+		e.sendPeer[i] = -1
+		e.recvPeer[i] = -1
+	}
+	e.heap = e.heap[:0]
+	e.pairs = make(map[uint64]*pairState, 64)
+	e.prog = prog
+	e.model = model
+	e.obs = obs
+	e.done = 0
+
+	minStart := 0.0
+	for r := 0; r < p; r++ {
+		t := 0.0
+		if start != nil {
+			t = start[r]
+		}
+		if r == 0 || t < minStart {
+			minStart = t
+		}
+		e.clock[r] = t
+		e.pc[r] = 0
+		if len(prog.Ranks[r]) == 0 {
+			e.status[r] = statusDone
+			e.done++
+		} else {
+			e.status[r] = statusReady
+			e.heap.push(t, int32(r))
+		}
+	}
+
+	events := 0
+	for len(e.heap) > 0 {
+		_, r32 := e.heap.pop()
+		r := int(r32)
+		if e.status[r] != statusReady {
+			continue // stale entry
+		}
+		// Run this rank until it blocks, finishes, or is no longer the
+		// earliest ready rank.
+		for {
+			if e.pc[r] >= len(e.prog.Ranks[r]) {
+				e.status[r] = statusDone
+				e.done++
+				break
+			}
+			advanced, err := e.step(r)
+			if err != nil {
+				return Result{}, err
+			}
+			events++
+			if !advanced {
+				break // blocked; woken later
+			}
+			if len(e.heap) > 0 && math.Float64bits(e.clock[r]) > e.heap[0].tb {
+				e.heap.push(e.clock[r], r32)
+				break
+			}
+		}
+	}
+
+	if e.done != p {
+		return Result{}, e.deadlockError(prog)
+	}
+
+	res := Result{Finish: append([]float64(nil), e.clock...), Events: events}
+	maxT := 0.0
+	for _, t := range e.clock {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	res.Time = maxT - minStart
+	return res, nil
+}
+
+// step executes the next op of rank r. It returns false when the rank
+// blocked (without advancing pc).
+func (e *Engine) step(r int) (bool, error) {
+	op := &e.prog.Ranks[r][e.pc[r]]
+	switch op.Kind {
+	case OpCompute:
+		e.clock[r] += e.model.Compute(op.Bytes)
+		e.pc[r]++
+		return true, nil
+
+	case OpSend, OpSendNB:
+		if e.obs != nil && op.PayLen > 0 {
+			if err := e.obs.OnSend(int32(r), e.prog.Pay[op.PayStart:op.PayStart+int32(op.PayLen)]); err != nil {
+				return false, fmt.Errorf("rank %d op %d: %w", r, e.pc[r], err)
+			}
+		}
+		ps := e.sendPairOf(int32(r), op.Peer)
+		receiverParked := ps.waiting && ps.head >= len(ps.inflight)
+		if e.model.Eager(op.Bytes) {
+			sdone, arr := e.model.SendEager(int32(r), op.Peer, op.Bytes, e.clock[r])
+			if receiverParked {
+				if ps.recvBytes != op.Bytes {
+					return false, matchErr(r, int(op.Peer), op.Bytes, ps.recvBytes)
+				}
+				ps.waiting = false
+				if err := e.wakeReceiver(op.Peer, maxf(ps.recvPost, arr), op); err != nil {
+					return false, err
+				}
+			} else {
+				ps.inflight = append(ps.inflight, msgRec{ts: arr, bytes: op.Bytes,
+					payStart: op.PayStart, payLen: op.PayLen, eager: true})
+			}
+			e.clock[r] = sdone
+			e.pc[r]++
+			return true, nil
+		}
+		nb := op.Kind == OpSendNB
+		if receiverParked {
+			sdone, arr := e.model.SendRendezvous(int32(r), op.Peer, op.Bytes, e.clock[r], ps.recvPost)
+			if ps.recvBytes != op.Bytes {
+				return false, matchErr(r, int(op.Peer), op.Bytes, ps.recvBytes)
+			}
+			ps.waiting = false
+			if err := e.wakeReceiver(op.Peer, arr, op); err != nil {
+				return false, err
+			}
+			if nb {
+				e.clock[r] += e.model.PostOverhead(op.Bytes)
+			} else {
+				e.clock[r] = sdone
+			}
+			e.pc[r]++
+			return true, nil
+		}
+		// Record the pending rendezvous. A blocking sender parks until the
+		// receiver posts; a non-blocking sender proceeds.
+		ps.inflight = append(ps.inflight, msgRec{ts: e.clock[r], bytes: op.Bytes,
+			payStart: op.PayStart, payLen: op.PayLen, eager: false, nb: nb})
+		if nb {
+			e.clock[r] += e.model.PostOverhead(op.Bytes)
+			e.pc[r]++
+			return true, nil
+		}
+		e.status[r] = statusBlockedSend
+		return false, nil
+
+	default: // OpRecv
+		ps := e.recvPairOf(op.Peer, int32(r))
+		if ps.head >= len(ps.inflight) {
+			ps.waiting = true
+			ps.recvPost = e.clock[r]
+			ps.recvBytes = op.Bytes
+			e.status[r] = statusBlockedRecv
+			return false, nil
+		}
+		rec := &ps.inflight[ps.head]
+		ps.head++
+		if rec.bytes != op.Bytes {
+			return false, matchErr(int(op.Peer), r, rec.bytes, op.Bytes)
+		}
+		var arrival float64
+		if rec.eager {
+			arrival = maxf(e.clock[r], rec.ts)
+		} else {
+			sdone, arr := e.model.SendRendezvous(op.Peer, int32(r), rec.bytes, rec.ts, e.clock[r])
+			arrival = arr
+			if !rec.nb {
+				// Wake the parked blocking sender.
+				s := op.Peer
+				e.clock[s] = sdone
+				e.pc[s]++
+				e.status[s] = statusReady
+				e.heap.push(sdone, s)
+			}
+		}
+		e.clock[r] = arrival + e.model.RecvOverhead(op.Bytes)
+		if e.obs != nil && rec.payLen > 0 {
+			if err := e.obs.OnDeliver(int32(r), e.prog.Pay[rec.payStart:rec.payStart+int32(rec.payLen)]); err != nil {
+				return false, fmt.Errorf("deliver to rank %d: %w", r, err)
+			}
+		}
+		if ps.head == len(ps.inflight) {
+			ps.inflight = ps.inflight[:0]
+			ps.head = 0
+		}
+		e.pc[r]++
+		return true, nil
+	}
+}
+
+// wakeReceiver finishes the receive parked at rank dst: the receiver's clock
+// advances to arrival + overhead and it becomes runnable again.
+func (e *Engine) wakeReceiver(dst int32, arrival float64, op *Op) error {
+	e.clock[dst] = arrival + e.model.RecvOverhead(op.Bytes)
+	e.pc[dst]++
+	e.status[dst] = statusReady
+	e.heap.push(e.clock[dst], dst)
+	if e.obs != nil && op.PayLen > 0 {
+		if err := e.obs.OnDeliver(dst, e.prog.Pay[op.PayStart:op.PayStart+int32(op.PayLen)]); err != nil {
+			return fmt.Errorf("deliver to rank %d: %w", dst, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) deadlockError(prog *Program) error {
+	var blocked []string
+	for r := range e.status {
+		if e.status[r] == statusDone {
+			continue
+		}
+		op := prog.Ranks[r][e.pc[r]]
+		kind := "recv from"
+		if op.Kind == OpSend {
+			kind = "send(rvz) to"
+		}
+		blocked = append(blocked, fmt.Sprintf("rank %d pc %d: %s %d (%d B)", r, e.pc[r], kind, op.Peer, op.Bytes))
+		if len(blocked) >= 8 {
+			blocked = append(blocked, "...")
+			break
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock; blocked ranks: %v", blocked)
+}
+
+func matchErr(src, dst int, sent, recv uint32) error {
+	return fmt.Errorf("sim: message size mismatch %d->%d: sent %d B, receive posted %d B", src, dst, sent, recv)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// timeHeap is a 4-ary min-heap of (time, rank) entries — shallower and more
+// cache-friendly than a binary heap, which matters because the scheduler is
+// the hottest code in large simulations. Ties are broken by rank id for
+// determinism.
+type timeHeap []heapEntry
+
+type heapEntry struct {
+	tb uint64 // math.Float64bits(time); valid because times are >= 0
+	r  int32
+}
+
+const heapArity = 4
+
+func (h *timeHeap) push(t float64, r int32) {
+	*h = append(*h, heapEntry{math.Float64bits(t), r})
+	hh := *h
+	i := len(hh) - 1
+	e := hh[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if less(e, hh[parent]) {
+			hh[i] = hh[parent]
+			i = parent
+		} else {
+			break
+		}
+	}
+	hh[i] = e
+}
+
+func (h *timeHeap) pop() (float64, int32) {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	e := hh[n]
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		smallest := first
+		for c := first + 1; c < last; c++ {
+			if less(hh[c], hh[smallest]) {
+				smallest = c
+			}
+		}
+		if !less(hh[smallest], e) {
+			break
+		}
+		hh[i] = hh[smallest]
+		i = smallest
+	}
+	if n > 0 {
+		hh[i] = e
+	}
+	return math.Float64frombits(top.tb), top.r
+}
+
+func less(a, b heapEntry) bool {
+	if a.tb != b.tb {
+		return a.tb < b.tb
+	}
+	return a.r < b.r
+}

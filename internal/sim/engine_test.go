@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testModel is a minimal deterministic cost model: latency L per message,
+// per-byte cost G, constant overheads, eager below eagerAt bytes.
+type testModel struct {
+	L, G, O float64
+	eagerAt uint32
+	gamma   float64
+}
+
+func (m *testModel) Eager(bytes uint32) bool { return bytes < m.eagerAt }
+
+func (m *testModel) SendEager(src, dst int32, bytes uint32, t float64) (float64, float64) {
+	return t + m.O, t + m.O + m.L + float64(bytes)*m.G
+}
+
+func (m *testModel) SendRendezvous(src, dst int32, bytes uint32, ts, tr float64) (float64, float64) {
+	start := math.Max(ts, tr) + m.L // handshake
+	end := start + m.O + m.L + float64(bytes)*m.G
+	return end, end
+}
+
+func (m *testModel) RecvOverhead(bytes uint32) float64 { return m.O }
+func (m *testModel) PostOverhead(bytes uint32) float64 { return m.O }
+func (m *testModel) Compute(bytes uint32) float64      { return float64(bytes) * m.gamma }
+
+func newTestModel() *testModel {
+	return &testModel{L: 1.0, G: 0.001, O: 0.1, eagerAt: 1 << 20, gamma: 0.0001}
+}
+
+func TestPingPongTiming(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Send(0, 1, 1000)
+	b.Recv(1, 0, 1000)
+	b.Send(1, 0, 1000)
+	b.Recv(0, 1, 1000)
+	m := newTestModel()
+	res, err := NewEngine().Run(b.Build(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank1 receives at 0.1(sender o)+1+1 = 2.1, + o = 2.2; sends back,
+	// arrival at 2.2+0.1+1+1 = 4.3, rank0 completes at 4.4.
+	want := 4.4
+	if math.Abs(res.Time-want) > 1e-9 {
+		t.Errorf("ping-pong time = %v, want %v", res.Time, want)
+	}
+	if res.Events != 4 {
+		t.Errorf("events = %d, want 4", res.Events)
+	}
+}
+
+func TestEagerSenderDoesNotBlock(t *testing.T) {
+	// Rank 0 fires two eager sends back to back; its own finish time must
+	// only reflect local overheads, not network latency.
+	b := NewBuilder(3, false)
+	b.Send(0, 1, 10)
+	b.Send(0, 2, 10)
+	b.Recv(1, 0, 10)
+	b.Recv(2, 0, 10)
+	m := newTestModel()
+	res, err := NewEngine().Run(b.Build(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Finish[0], 0.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sender finish = %v, want %v", got, want)
+	}
+	if res.Finish[2] <= res.Finish[0] {
+		t.Errorf("receiver should finish after sender: %v vs %v", res.Finish[2], res.Finish[0])
+	}
+}
+
+func TestRendezvousBlocksSender(t *testing.T) {
+	// Large message: sender must wait for receiver, which is busy computing.
+	b := NewBuilder(2, false)
+	b.Send(0, 1, 2<<20)
+	b.Compute(1, 100000) // 10s of compute before posting the recv
+	b.Recv(1, 0, 2<<20)
+	m := newTestModel()
+	res, err := NewEngine().Run(b.Build(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish[0] < 10 {
+		t.Errorf("rendezvous sender finished at %v, expected to be held past t=10", res.Finish[0])
+	}
+}
+
+func TestRendezvousReceiverFirst(t *testing.T) {
+	// Receiver posts first; sender arrives later. Must not deadlock and the
+	// transfer starts at the sender's post time.
+	b := NewBuilder(2, false)
+	b.Compute(0, 100000)
+	b.Send(0, 1, 2<<20)
+	b.Recv(1, 0, 2<<20)
+	m := newTestModel()
+	res, err := NewEngine().Run(b.Build(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish[1] < 10 {
+		t.Errorf("receiver finished at %v, expected after sender post at t=10", res.Finish[1])
+	}
+}
+
+func TestFIFOMatchingOrder(t *testing.T) {
+	// Two messages of different sizes on the same pair must match in order;
+	// a swap would be a size mismatch error.
+	b := NewBuilder(2, false)
+	b.Send(0, 1, 100)
+	b.Send(0, 1, 200)
+	b.Recv(1, 0, 100)
+	b.Recv(1, 0, 200)
+	if _, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil); err != nil {
+		t.Fatalf("in-order matching failed: %v", err)
+	}
+
+	b = NewBuilder(2, false)
+	b.Send(0, 1, 100)
+	b.Send(0, 1, 200)
+	b.Recv(1, 0, 200) // wrong order
+	b.Recv(1, 0, 100)
+	if _, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil); err == nil {
+		t.Fatal("expected size mismatch error for out-of-order receive")
+	}
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	// Symmetric large-message exchange would deadlock with blocking sends;
+	// SendRecv (non-blocking send half) must complete.
+	b := NewBuilder(2, false)
+	b.SendRecv(0, 1, 2<<20, 1, 2<<20)
+	b.SendRecv(1, 0, 2<<20, 0, 2<<20)
+	res, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Errorf("bad exchange time %v", res.Time)
+	}
+
+	// The same exchange with blocking sends must deadlock.
+	b = NewBuilder(2, false)
+	b.Send(0, 1, 2<<20)
+	b.Recv(0, 1, 2<<20)
+	b.Send(1, 0, 2<<20)
+	b.Recv(1, 0, 2<<20)
+	if _, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil); err == nil {
+		t.Fatal("expected deadlock with blocking symmetric sends")
+	}
+}
+
+func TestSendNBRendezvousStillWaitsForReceiver(t *testing.T) {
+	// Non-blocking rendezvous: sender proceeds, but the data cannot arrive
+	// before the receiver posts its receive.
+	b := NewBuilder(2, false)
+	b.SendNB(0, 1, 2<<20)
+	b.Compute(0, 1) // sender does other work
+	b.Compute(1, 100000)
+	b.Recv(1, 0, 2<<20)
+	res, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish[0] > 1 {
+		t.Errorf("NB sender should finish quickly, got %v", res.Finish[0])
+	}
+	if res.Finish[1] < 10 {
+		t.Errorf("receiver cannot complete before posting at t=10, got %v", res.Finish[1])
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Recv(0, 1, 10)
+	b.Recv(1, 0, 10)
+	_, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestMissingMessageIsDeadlock(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Recv(1, 0, 10) // nobody sends
+	_, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil)
+	if err == nil {
+		t.Fatal("expected deadlock for unmatched receive")
+	}
+}
+
+func TestStartTimesShiftCompletion(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.Send(0, 1, 10)
+	b.Recv(1, 0, 10)
+	m := newTestModel()
+	r1, err := NewEngine().Run(b.Build(), m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = NewBuilder(2, false)
+	b.Send(0, 1, 10)
+	b.Recv(1, 0, 10)
+	r2, err := NewEngine().Run(b.Build(), m, []float64{5, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Finish[1] <= r1.Finish[1] {
+		t.Errorf("delayed sender should delay receiver: %v vs %v", r2.Finish[1], r1.Finish[1])
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	b := NewBuilder(1, false)
+	b.Compute(0, 5000)
+	res, err := NewEngine().Run(b.Build(), newTestModel(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time-0.5) > 1e-9 {
+		t.Errorf("compute time = %v, want 0.5", res.Time)
+	}
+}
+
+func TestZeroComputeSkipped(t *testing.T) {
+	b := NewBuilder(1, false)
+	b.Compute(0, 0)
+	if n := b.Build().NumOps(); n != 0 {
+		t.Errorf("zero-byte compute should be elided, got %d ops", n)
+	}
+}
+
+func TestTrackerRejectsUnheldSend(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.Send(0, 1, 10, PayUnit{Block: 0, Mask: 1})
+	b.Recv(1, 0, 10)
+	tr := NewTracker(2) // rank 0 holds nothing
+	_, err := NewEngine().Run(b.Build(), newTestModel(), nil, tr)
+	if err == nil {
+		t.Fatal("expected tracker violation")
+	}
+}
+
+func TestTrackerDeliversMasks(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.Send(0, 1, 10, PayUnit{Block: 7, Mask: 1})
+	b.Recv(1, 0, 10)
+	b.Send(1, 2, 10, PayUnit{Block: 7, Mask: 1})
+	b.Recv(2, 1, 10)
+	tr := NewTracker(3)
+	tr.Init(0, 7, 1)
+	if _, err := NewEngine().Run(b.Build(), newTestModel(), nil, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Holds(2, 7, 1) {
+		t.Error("rank 2 should hold block 7 after relay")
+	}
+	if tr.Holds(2, 8, 1) {
+		t.Error("rank 2 should not hold block 8")
+	}
+}
+
+func TestEngineReuse(t *testing.T) {
+	e := NewEngine()
+	m := newTestModel()
+	var first float64
+	for i := 0; i < 3; i++ {
+		b := NewBuilder(4, false)
+		for r := 1; r < 4; r++ {
+			b.Send(0, r, 100)
+			b.Recv(r, 0, 100)
+		}
+		res, err := e.Run(b.Build(), m, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Time
+		} else if math.Abs(res.Time-first) > 1e-12 {
+			t.Errorf("run %d time %v differs from first %v (engine state leak)", i, res.Time, first)
+		}
+	}
+}
+
+func TestRelayChainTimingScalesWithHops(t *testing.T) {
+	m := newTestModel()
+	times := make([]float64, 0, 3)
+	for _, p := range []int{2, 4, 8} {
+		b := NewBuilder(p, false)
+		for r := 0; r < p-1; r++ {
+			b.Send(r, r+1, 1000)
+			b.Recv(r+1, r, 1000)
+		}
+		res, err := NewEngine().Run(b.Build(), m, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.Time)
+	}
+	if !(times[0] < times[1] && times[1] < times[2]) {
+		t.Errorf("chain time must grow with hops: %v", times)
+	}
+	// Each hop adds the same cost: linear growth.
+	d1, d2 := times[1]-times[0], times[2]-times[1]
+	if math.Abs(d2-2*d1) > 1e-6 {
+		t.Errorf("expected linear hop growth, deltas %v %v", d1, d2)
+	}
+}
+
+func TestHeapPropertyQuick(t *testing.T) {
+	// Simulated times are always non-negative (the heap key packs them as
+	// IEEE-754 bits, whose ordering matches float ordering only on
+	// non-negative values).
+	f := func(ts []float64) bool {
+		var h timeHeap
+		for i, v := range ts {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			h.push(math.Abs(v), int32(i))
+		}
+		prev := math.Inf(-1)
+		for len(h) > 0 {
+			v, _ := h.pop()
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedDeterminismAndSpread(t *testing.T) {
+	a := Seed(1, 2, 3)
+	if a != Seed(1, 2, 3) {
+		t.Error("Seed not deterministic")
+	}
+	if Seed(1, 2, 3) == Seed(1, 2, 4) || Seed(1, 2, 3) == Seed(3, 2, 1) {
+		t.Error("Seed collisions on trivially different keys")
+	}
+}
+
+func TestRNGLogNormalMedianNearOne(t *testing.T) {
+	r := NewRNG(42)
+	n := 20000
+	below := 0
+	for i := 0; i < n; i++ {
+		if r.LogNormal(0.1) < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("lognormal median off: frac below 1 = %v", frac)
+	}
+	if r.LogNormal(0) != 1 {
+		t.Error("sigma=0 must return exactly 1")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	n := 50000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestComputeSplitsHugeByteCounts(t *testing.T) {
+	b := NewBuilder(1, false)
+	b.Compute(0, 5<<30) // 5 GiB: beyond the uint32 op range
+	prog := b.Build()
+	if prog.NumOps() < 2 {
+		t.Fatalf("huge compute not split: %d ops", prog.NumOps())
+	}
+	var total int64
+	for _, op := range prog.Ranks[0] {
+		if op.Kind != OpCompute {
+			t.Fatal("unexpected op kind")
+		}
+		total += int64(op.Bytes)
+	}
+	if total != 5<<30 {
+		t.Fatalf("split computes sum to %d, want %d", total, int64(5)<<30)
+	}
+}

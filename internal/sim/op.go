@@ -1,0 +1,180 @@
+// Package sim implements a deterministic discrete-event simulator for
+// message-passing programs.
+//
+// A collective algorithm is expressed as a Program: one sequential list of
+// operations (send, receive, compute) per rank. The Engine executes all rank
+// programs against a CostModel, respecting MPI-style non-overtaking message
+// matching per (source, destination) pair, and returns the simulated
+// completion time of every rank.
+//
+// Programs are built through a Builder, which can optionally record payload
+// metadata (which logical data blocks, contributed by which ranks, a message
+// carries). The Tracker replays that metadata during execution to verify the
+// semantic correctness of a schedule: a rank may only send data it already
+// holds, and the final holdings must match the collective's postcondition.
+package sim
+
+import "fmt"
+
+// OpKind discriminates the operation types a rank program may contain.
+type OpKind uint8
+
+const (
+	// OpSend transmits Bytes to rank Peer. The sender resumes after its
+	// local overhead (eager protocol) or after the receiver has matched
+	// the message (rendezvous protocol).
+	OpSend OpKind = iota
+	// OpRecv blocks until the next unmatched message from rank Peer has
+	// arrived, then completes after the receive overhead.
+	OpRecv
+	// OpCompute advances the rank's local clock by the model's computation
+	// cost for Bytes bytes (used for reduction arithmetic and copies).
+	OpCompute
+	// OpSendNB is a non-blocking send (MPI_Isend / the send half of
+	// MPI_Sendrecv): the sender proceeds after its local overhead even for
+	// rendezvous-size messages; the data transfer itself still waits for
+	// the matching receive. Exchange-style algorithms (recursive doubling,
+	// rings, pairwise) use it to stay deadlock-free, as real MPI
+	// implementations do.
+	OpSendNB
+)
+
+// Op is a single operation in a rank program. It is kept small (16 bytes)
+// because large segmented collectives generate millions of operations.
+type Op struct {
+	Peer     int32 // destination (send) or source (recv); unused for compute
+	Bytes    uint32
+	PayStart int32 // index into Program.Pay; -1 when no payload recorded
+	PayLen   int16
+	Kind     OpKind
+	_        uint8
+}
+
+// PayUnit describes one logical data block carried by a message: the block
+// identifier and the set of contributing ranks (as a bitmask, which limits
+// verification to p <= 64 ranks; timing simulation has no such limit).
+type PayUnit struct {
+	Block int32
+	Mask  uint64
+}
+
+// Program is a complete schedule: one op list per rank plus the shared
+// payload table referenced by the ops.
+type Program struct {
+	Ranks [][]Op
+	Pay   []PayUnit
+}
+
+// NumRanks returns the number of rank programs.
+func (p *Program) NumRanks() int { return len(p.Ranks) }
+
+// NumOps returns the total number of operations across all ranks.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, ops := range p.Ranks {
+		n += len(ops)
+	}
+	return n
+}
+
+// Builder incrementally constructs a Program. Generators call Send, Recv and
+// Compute with explicit rank arguments; ops are appended to the given rank's
+// sequential program. When Verify is false, payload arguments are dropped,
+// keeping the hot path allocation-light.
+type Builder struct {
+	prog   Program
+	verify bool
+}
+
+// NewBuilder returns a Builder for p ranks. If verify is true, payload
+// metadata passed to Send is recorded for later replay by a Tracker.
+func NewBuilder(p int, verify bool) *Builder {
+	b := &Builder{verify: verify}
+	b.prog.Ranks = make([][]Op, p)
+	return b
+}
+
+// P returns the number of ranks of the program under construction.
+func (b *Builder) P() int { return len(b.prog.Ranks) }
+
+// Reserve pre-allocates capacity for n additional ops on every rank,
+// avoiding append-growth copies when generators know their schedule sizes.
+func (b *Builder) Reserve(n int) {
+	for r, ops := range b.prog.Ranks {
+		if cap(ops)-len(ops) < n {
+			grown := make([]Op, len(ops), len(ops)+n)
+			copy(grown, ops)
+			b.prog.Ranks[r] = grown
+		}
+	}
+}
+
+// Verify reports whether payload metadata is being recorded.
+func (b *Builder) Verify() bool { return b.verify }
+
+// Send appends a send of bytes from rank to dst, optionally annotated with
+// the payload units the message carries (recorded only in verify mode).
+func (b *Builder) Send(rank, dst int, bytes int64, pay ...PayUnit) {
+	op := Op{Kind: OpSend, Peer: int32(dst), Bytes: clampBytes(bytes), PayStart: -1}
+	if b.verify && len(pay) > 0 {
+		op.PayStart = int32(len(b.prog.Pay))
+		op.PayLen = int16(len(pay))
+		b.prog.Pay = append(b.prog.Pay, pay...)
+	}
+	b.prog.Ranks[rank] = append(b.prog.Ranks[rank], op)
+}
+
+// SendNB appends a non-blocking send of bytes from rank to dst.
+func (b *Builder) SendNB(rank, dst int, bytes int64, pay ...PayUnit) {
+	op := Op{Kind: OpSendNB, Peer: int32(dst), Bytes: clampBytes(bytes), PayStart: -1}
+	if b.verify && len(pay) > 0 {
+		op.PayStart = int32(len(b.prog.Pay))
+		op.PayLen = int16(len(pay))
+		b.prog.Pay = append(b.prog.Pay, pay...)
+	}
+	b.prog.Ranks[rank] = append(b.prog.Ranks[rank], op)
+}
+
+// Recv appends a blocking receive of bytes on rank from src.
+func (b *Builder) Recv(rank, src int, bytes int64) {
+	b.prog.Ranks[rank] = append(b.prog.Ranks[rank],
+		Op{Kind: OpRecv, Peer: int32(src), Bytes: clampBytes(bytes), PayStart: -1})
+}
+
+// SendRecv appends a non-blocking send to dst followed by a blocking receive
+// from src on rank — the deadlock-free exchange primitive (MPI_Sendrecv)
+// used by recursive-doubling, ring and pairwise algorithms.
+func (b *Builder) SendRecv(rank, dst int, sendBytes int64, src int, recvBytes int64, pay ...PayUnit) {
+	b.SendNB(rank, dst, sendBytes, pay...)
+	b.Recv(rank, src, recvBytes)
+}
+
+// Compute appends a local computation over bytes on rank. Computations
+// larger than the per-op byte range (e.g. reducing p gathered vectors) are
+// split into multiple ops.
+func (b *Builder) Compute(rank int, bytes int64) {
+	const maxOpBytes = 1 << 31
+	for bytes > maxOpBytes {
+		b.prog.Ranks[rank] = append(b.prog.Ranks[rank],
+			Op{Kind: OpCompute, Bytes: maxOpBytes, PayStart: -1})
+		bytes -= maxOpBytes
+	}
+	if bytes <= 0 {
+		return
+	}
+	b.prog.Ranks[rank] = append(b.prog.Ranks[rank],
+		Op{Kind: OpCompute, Bytes: clampBytes(bytes), PayStart: -1})
+}
+
+// Build finalizes and returns the Program. The Builder must not be reused.
+func (b *Builder) Build() *Program { return &b.prog }
+
+func clampBytes(bytes int64) uint32 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative byte count %d", bytes))
+	}
+	if bytes > 0xFFFFFFFF {
+		panic(fmt.Sprintf("sim: byte count %d exceeds uint32 range", bytes))
+	}
+	return uint32(bytes)
+}

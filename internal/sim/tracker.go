@@ -1,0 +1,69 @@
+package sim
+
+import "fmt"
+
+// Tracker verifies the data-flow semantics of a schedule during execution.
+// Each rank holds, per logical block, a bitmask of the ranks whose
+// contribution is (transitively) included in its copy of the block. A rank
+// may only send block data whose contribution mask it already holds; on
+// delivery the receiver's mask is extended.
+//
+// Verification is limited to p <= 64 ranks (masks are uint64); the timing
+// engine itself has no such limit.
+type Tracker struct {
+	holds []map[int32]uint64
+}
+
+// NewTracker returns a Tracker for p ranks with empty holdings.
+func NewTracker(p int) *Tracker {
+	t := &Tracker{holds: make([]map[int32]uint64, p)}
+	for i := range t.holds {
+		t.holds[i] = make(map[int32]uint64)
+	}
+	return t
+}
+
+// Init grants rank the given contribution mask for block (initial holdings).
+func (t *Tracker) Init(rank int, block int32, mask uint64) {
+	t.holds[rank][block] |= mask
+}
+
+// OnSend implements Observer: verifies the sender holds everything it sends.
+func (t *Tracker) OnSend(src int32, pay []PayUnit) error {
+	h := t.holds[src]
+	for _, u := range pay {
+		if h[u.Block]&u.Mask != u.Mask {
+			return fmt.Errorf("tracker: rank %d sends block %d mask %#x but holds only %#x",
+				src, u.Block, u.Mask, h[u.Block])
+		}
+	}
+	return nil
+}
+
+// OnDeliver implements Observer: merges the delivered masks into the
+// receiver's holdings.
+func (t *Tracker) OnDeliver(dst int32, pay []PayUnit) error {
+	h := t.holds[dst]
+	for _, u := range pay {
+		h[u.Block] |= u.Mask
+	}
+	return nil
+}
+
+// Holds reports whether rank holds at least mask for block.
+func (t *Tracker) Holds(rank int, block int32, mask uint64) bool {
+	return t.holds[rank][block]&mask == mask
+}
+
+// Mask returns the contribution mask rank holds for block.
+func (t *Tracker) Mask(rank int, block int32) uint64 { return t.holds[rank][block] }
+
+// FullMask is the mask containing all p contributions.
+func FullMask(p int) uint64 {
+	if p >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << p) - 1
+}
+
+var _ Observer = (*Tracker)(nil)

@@ -1,0 +1,64 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("xx", "y")
+	tb.AddRow("z", "wwwww")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a ") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header %q", lines[1])
+	}
+	// Column 2 must start at the same offset in all data rows.
+	off := strings.Index(lines[3], "y")
+	if strings.Index(lines[4], "wwwww") != off {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("only", "row")
+	s := tb.String()
+	if strings.Contains(s, "---") {
+		t.Errorf("separator without headers:\n%s", s)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		1:       "1",
+		999:     "999",
+		1024:    "1K",
+		16384:   "16K",
+		524288:  "512K",
+		1048576: "1M",
+		4194304: "4M",
+		1100:    "1100",
+	}
+	for v, want := range cases {
+		if got := Bytes(v); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNumberHelpers(t *testing.T) {
+	if F(1.2345, 2) != "1.23" || I(7) != "7" || I64(9) != "9" {
+		t.Error("format helpers broken")
+	}
+	if G(0.000123456) != "0.000123" {
+		t.Errorf("G = %q", G(0.000123456))
+	}
+}
