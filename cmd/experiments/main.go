@@ -25,6 +25,7 @@ import (
 	"mpicollpred/internal/eval"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/obs"
 )
 
 // expCtx carries shared lazily-loaded state across experiments.
@@ -32,6 +33,7 @@ type expCtx struct {
 	cacheDir string
 	scale    dataset.Scale
 	learners []string
+	log      *obs.Logger
 
 	datasets map[string]*dataset.Dataset
 	machines map[string]machine.Machine
@@ -39,11 +41,12 @@ type expCtx struct {
 	evals    map[string]*eval.Evaluation
 }
 
-func newCtx(cacheDir string, scale dataset.Scale, learners []string) *expCtx {
+func newCtx(cacheDir string, scale dataset.Scale, learners []string, log *obs.Logger) *expCtx {
 	return &expCtx{
 		cacheDir: cacheDir,
 		scale:    scale,
 		learners: learners,
+		log:      log,
 		datasets: map[string]*dataset.Dataset{},
 		machines: map[string]machine.Machine{},
 		sets:     map[string]*mpilib.CollectiveSet{},
@@ -56,16 +59,12 @@ func (c *expCtx) dataset(name string) (*dataset.Dataset, error) {
 	if d, ok := c.datasets[name]; ok {
 		return d, nil
 	}
-	progress := func(done, total int) {
-		if done%5000 < 40 {
-			fmt.Fprintf(os.Stderr, "\r  generating %s: %d/%d ", name, done, total)
-		}
-	}
-	d, err := dataset.LoadOrGenerate(c.cacheDir, name, c.scale, progress)
+	prog := obs.NewProgress(c.log, "generating "+name)
+	d, err := dataset.LoadOrGenerate(c.cacheDir, name, c.scale, prog.Func())
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "\r%-50s\r", "")
+	prog.Finish()
 	c.datasets[name] = d
 	return d, nil
 }
@@ -149,13 +148,17 @@ func experimentsList() []experiment {
 
 func main() {
 	var (
-		cacheFlag = flag.String("cache", "results/cache", "dataset cache directory")
-		outFlag   = flag.String("out", "results", "output directory for text artifacts")
-		scaleFlag = flag.String("scale", "mid", "dataset scale: smoke, mid, full")
-		onlyFlag  = flag.String("only", "", "comma-separated subset of experiments (default: all)")
-		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		cacheFlag   = flag.String("cache", "results/cache", "dataset cache directory")
+		outFlag     = flag.String("out", "results", "output directory for text artifacts")
+		scaleFlag   = flag.String("scale", "mid", "dataset scale: smoke, mid, full")
+		onlyFlag    = flag.String("only", "", "comma-separated subset of experiments (default: all)")
+		listFlag    = flag.Bool("list", false, "list experiments and exit")
+		metricsFlag = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
+		verboseFlag = flag.Bool("v", false, "verbose (debug) logging")
+		quietFlag   = flag.Bool("quiet", false, "suppress informational logging")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verboseFlag, *quietFlag))
 
 	all := experimentsList()
 	if *listFlag {
@@ -176,7 +179,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	ctx := newCtx(*cacheFlag, dataset.Scale(*scaleFlag), []string{"knn", "gam", "xgboost"})
+	ctx := newCtx(*cacheFlag, dataset.Scale(*scaleFlag), []string{"knn", "gam", "xgboost"}, log)
 
 	failed := 0
 	for _, e := range all {
@@ -186,7 +189,7 @@ func main() {
 		start := time.Now()
 		out, err := e.run(ctx)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.name, err)
+			log.Errorf("experiment %s failed: %v", e.name, err)
 			failed++
 			continue
 		}
@@ -195,12 +198,22 @@ func main() {
 		text := header + out
 		path := filepath.Join(*outFlag, e.name+".txt")
 		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			log.Errorf("writing %s: %v", path, err)
 			failed++
 			continue
 		}
-		fmt.Println(text)
-		fmt.Fprintf(os.Stderr, "[%s done in %v -> %s]\n\n", e.name, time.Since(start).Round(time.Millisecond), path)
+		if !*quietFlag {
+			fmt.Println(text)
+		}
+		log.Infof("%s done in %v -> %s", e.name, time.Since(start).Round(time.Millisecond), path)
+	}
+	if *metricsFlag != "" {
+		if err := obs.Default.DumpFile(*metricsFlag); err != nil {
+			log.Errorf("writing metrics: %v", err)
+			failed++
+		} else {
+			log.Infof("metrics snapshot -> %s", *metricsFlag)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

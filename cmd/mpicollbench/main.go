@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/obs"
 )
 
 func main() {
@@ -24,9 +25,14 @@ func main() {
 		scale   = flag.String("scale", "mid", "grid scale: smoke, mid, or full")
 		cache   = flag.String("cache", "results/cache", "cache directory for generated datasets")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		quiet2  = flag.Bool("quiet", false, "alias for -q")
+		verbose = flag.Bool("v", false, "verbose (debug) logging")
+		metrics = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
 		listAll = flag.Bool("list", false, "list dataset specs and exit")
 	)
 	flag.Parse()
+	*quiet = *quiet || *quiet2
+	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
 
 	sc := dataset.Scale(*scale)
 	specs := dataset.Specs(sc)
@@ -52,21 +58,21 @@ func main() {
 
 	for _, n := range names {
 		start := time.Now()
-		progress := func(done, total int) {
-			if !*quiet && done%2000 < 40 {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d measurements (%.0f%%) ", n, done, total,
-					100*float64(done)/float64(total))
-			}
-		}
-		d, err := dataset.LoadOrGenerate(*cache, n, sc, progress)
+		prog := obs.NewProgress(log, n)
+		d, err := dataset.LoadOrGenerate(*cache, n, sc, prog.Func())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "\nmpicollbench: %v\n", err)
+			log.Errorf("mpicollbench: %v", err)
 			os.Exit(1)
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+		prog.Finish()
+		fmt.Printf("%s: %d samples (%d budget-exhausted), %.1f simulated benchmark seconds, wall %v\n",
+			n, len(d.Samples), d.ExhaustedCount(), d.Consumed, time.Since(start).Round(time.Second))
+	}
+	if *metrics != "" {
+		if err := obs.Default.DumpFile(*metrics); err != nil {
+			log.Errorf("writing metrics: %v", err)
+			os.Exit(1)
 		}
-		fmt.Printf("%s: %d samples, %.1f simulated benchmark seconds, wall %v\n",
-			n, len(d.Samples), d.Consumed, time.Since(start).Round(time.Second))
+		log.Infof("metrics snapshot -> %s", *metrics)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/eval"
+	"mpicollpred/internal/obs"
 )
 
 func main() {
@@ -35,16 +36,22 @@ func main() {
 		top     = flag.Int("top", 1, "show the top-k predicted configurations")
 		tuning  = flag.Bool("tuning-file", false, "emit a tuning rules file over the standard message sizes")
 		train   = flag.String("train-nodes", "", "comma-separated training node counts (default: the machine's full Table III split)")
+		metrics = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
+		verbose = flag.Bool("v", false, "verbose (debug) logging")
+		quiet   = flag.Bool("quiet", false, "suppress informational logging")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
 
 	if *nodes <= 0 || *ppn <= 0 {
 		fmt.Fprintln(os.Stderr, "mpicolltune: -nodes and -ppn are required")
 		os.Exit(2)
 	}
 
-	ds, err := dataset.LoadOrGenerate(*cache, *dsName, dataset.Scale(*scale), nil)
+	prog := obs.NewProgress(log, "generating "+*dsName)
+	ds, err := dataset.LoadOrGenerate(*cache, *dsName, dataset.Scale(*scale), prog.Func())
 	fail(err)
+	prog.Finish()
 	_, set, err := ds.Spec.Resolve()
 	fail(err)
 
@@ -63,8 +70,14 @@ func main() {
 
 	sel, err := core.Train(ds, set, *learner, trainNodes)
 	fail(err)
-	fmt.Fprintf(os.Stderr, "trained %s on %s (%d configurations, nodes %v)\n",
-		*learner, *dsName, len(sel.Configs()), trainNodes)
+	log.Infof("trained %s on %s (%d configurations, nodes %v) in %.3gs",
+		*learner, *dsName, len(sel.Configs()), trainNodes, sel.FitWall)
+	defer func() {
+		if *metrics != "" {
+			fail(obs.Default.DumpFile(*metrics))
+			log.Infof("metrics snapshot -> %s", *metrics)
+		}
+	}()
 
 	if *tuning {
 		fmt.Print(sel.TuningFile(*nodes, *ppn, ds.Spec.Msizes))

@@ -34,7 +34,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %d measurements, %.2f simulated benchmark seconds\n\n", len(ds.Samples), ds.Consumed)
+	fmt.Printf("  %d measurements, %.2f simulated benchmark seconds (%d budget-exhausted)\n",
+		len(ds.Samples), ds.Consumed, ds.ExhaustedCount())
+	fmt.Printf("  a-priori upper bound: %.0f s\n\n",
+		bench.Options{MaxTime: 1}.Budget(len(ds.Samples)))
 
 	mach, set, err := spec.Resolve()
 	if err != nil {
@@ -46,6 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("fitted %d GAM models in %.3g s wall time\n\n", len(sel.Configs()), sel.FitWall)
 
 	// Apply to an unseen allocation: 6 nodes were never in the training set.
 	const nodes, ppn = 6, 4

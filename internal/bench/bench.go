@@ -9,8 +9,10 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/netmodel"
 	"mpicollpred/internal/sim"
@@ -27,14 +29,19 @@ type Options struct {
 	// offset left over after clock synchronization (ReproMPI's
 	// window-based scheme achieves microsecond-level residuals).
 	SyncJitter float64
+	// Metrics, when non-nil, receives per-measurement accounting
+	// (repetitions, consumed budget, exhaustion events).
+	Metrics *Metrics
 }
 
 // DefaultOptions mirrors the paper's ReproMPI configuration for the given
-// machine name (0.5 s budget on SuperMUC-NG, 1 s elsewhere).
+// machine. The budget is looked up from the machine registry (Table I
+// profiles carry their §V benchmark budget); unknown machine names fall back
+// to the 1 s budget used on most systems.
 func DefaultOptions(machineName string) Options {
 	o := Options{MaxReps: 500, MaxTime: 1.0, SyncJitter: 0.3e-6}
-	if machineName == "SuperMUC-NG" {
-		o.MaxTime = 0.5
+	if m, err := machine.ByName(machineName); err == nil && m.BenchBudget > 0 {
+		o.MaxTime = m.BenchBudget
 	}
 	return o
 }
@@ -44,24 +51,68 @@ func DefaultOptions(machineName string) Options {
 type Measurement struct {
 	Times    []float64 // per-repetition makespans, in seconds
 	Consumed float64   // total simulated time spent, including all reps
+	// Exhausted reports whether the time budget stopped the loop before
+	// MaxReps repetitions completed.
+	Exhausted bool
+
+	// sorted caches an ascending copy of Times, populated once by the
+	// Runner so repeated quantile queries do not re-sort. Zero-value
+	// Measurements fall back to sorting on demand.
+	sorted []float64
 }
 
 // Reps returns the number of repetitions that were run.
 func (m Measurement) Reps() int { return len(m.Times) }
 
-// Median returns the median repetition time, the paper's summary statistic.
-func (m Measurement) Median() float64 {
-	if len(m.Times) == 0 {
-		return 0
+// sortedTimes returns the repetition times in ascending order, using the
+// Runner-populated cache when present.
+func (m Measurement) sortedTimes() []float64 {
+	if len(m.sorted) == len(m.Times) {
+		return m.sorted
 	}
 	s := append([]float64(nil), m.Times...)
 	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return s
 }
+
+// finalize populates the sorted cache; the Runner calls it once per
+// measurement.
+func (m *Measurement) finalize() {
+	m.sorted = append([]float64(nil), m.Times...)
+	sort.Float64s(m.sorted)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the repetition times with
+// linear interpolation between order statistics, so Quantile(0.5) equals the
+// textbook median for both odd and even repetition counts.
+func (m Measurement) Quantile(q float64) float64 {
+	s := m.sortedTimes()
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := q * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the median repetition time, the paper's summary statistic.
+func (m Measurement) Median() float64 { return m.Quantile(0.5) }
+
+// P10 returns the 10th-percentile repetition time.
+func (m Measurement) P10() float64 { return m.Quantile(0.10) }
+
+// P90 returns the 90th-percentile repetition time.
+func (m Measurement) P90() float64 { return m.Quantile(0.90) }
 
 // Mean returns the arithmetic mean repetition time.
 func (m Measurement) Mean() float64 {
@@ -150,9 +201,12 @@ func (r *Runner) MeasureCapped(cfg mpilib.Config, prm netmodel.Params, topo netm
 		meas.Times = append(meas.Times, res.Time)
 		meas.Consumed += res.Time
 		if r.opts.MaxTime > 0 && meas.Consumed >= r.opts.MaxTime {
+			meas.Exhausted = len(meas.Times) < maxReps
 			break
 		}
 	}
+	meas.finalize()
+	r.opts.Metrics.record(meas)
 	return meas, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/obs"
 )
 
 func testSetup(t *testing.T) (mpilib.Config, netmodel.Params, netmodel.Topology) {
@@ -128,6 +129,18 @@ func TestDefaultOptionsPerMachine(t *testing.T) {
 	if DefaultOptions("Hydra").MaxReps != 500 {
 		t.Error("rep cap must be 500")
 	}
+	// The budget comes from the machine registry, not a name comparison:
+	// every registered machine must resolve to its profile's budget.
+	for _, m := range machine.All() {
+		if got := DefaultOptions(m.Name).MaxTime; got != m.BenchBudget {
+			t.Errorf("%s: MaxTime = %v, want BenchBudget %v", m.Name, got, m.BenchBudget)
+		}
+	}
+	// Unknown machines fall back to the common 1 s budget instead of
+	// silently matching a hard-coded string.
+	if got := DefaultOptions("no-such-machine").MaxTime; got != 1.0 {
+		t.Errorf("unknown machine MaxTime = %v, want 1.0 fallback", got)
+	}
 }
 
 func TestBudgetUpperBound(t *testing.T) {
@@ -149,5 +162,83 @@ func TestMedianEvenOdd(t *testing.T) {
 	}
 	if (Measurement{}).Median() != 0 || (Measurement{}).Mean() != 0 || (Measurement{}).Min() != 0 {
 		t.Error("empty measurement stats must be 0")
+	}
+}
+
+func TestQuantilesCachedAndUncached(t *testing.T) {
+	times := []float64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5}
+	uncached := Measurement{Times: times}
+	cached := Measurement{Times: times}
+	cached.finalize()
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 1} {
+		if a, b := uncached.Quantile(q), cached.Quantile(q); a != b {
+			t.Errorf("q=%v: uncached %v != cached %v", q, a, b)
+		}
+	}
+	if cached.P10() != 1.9 || cached.P90() != 9.1 {
+		t.Errorf("interpolated percentiles: p10=%v p90=%v", cached.P10(), cached.P90())
+	}
+	if cached.Quantile(0) != 1 || cached.Quantile(1) != 10 {
+		t.Errorf("extremes: %v, %v", cached.Quantile(0), cached.Quantile(1))
+	}
+	// The cache must not have reordered the raw repetition times.
+	if uncached.Times[0] != 10 || cached.Times[0] != 10 {
+		t.Error("Times must keep measurement order")
+	}
+}
+
+func TestMeasureMarksExhausted(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	// A one-rep budget: find the single-rep cost, then undercut it.
+	r := NewRunner(Options{MaxReps: 1, MaxTime: 0, SyncJitter: 1e-7})
+	one, err := r.Measure(cfg, net, topo, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Exhausted {
+		t.Error("rep-capped measurement must not count as budget-exhausted")
+	}
+	r = NewRunner(Options{MaxReps: 500, MaxTime: one.Times[0] / 2, SyncJitter: 1e-7})
+	m, err := r.Measure(cfg, net, topo, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exhausted {
+		t.Errorf("budget-stopped measurement must be marked exhausted: %+v reps", m.Reps())
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, obs.Labels{"dataset": "test"})
+	r := NewRunner(Options{MaxReps: 4, MaxTime: 100, SyncJitter: 1e-7, Metrics: met})
+	m1, err := r.Measure(cfg, net, topo, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Measure(cfg, net, topo, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Measurements.Value(); got != 2 {
+		t.Errorf("measurements counter = %d, want 2", got)
+	}
+	if got, want := met.Reps.Value(), int64(m1.Reps()+m2.Reps()); got != want {
+		t.Errorf("reps counter = %d, want %d", got, want)
+	}
+	if got, want := met.Consumed.Value(), m1.Consumed+m2.Consumed; math.Abs(got-want) > 1e-12 {
+		t.Errorf("consumed gauge = %v, want %v", got, want)
+	}
+	if met.Exhausted.Value() != 0 {
+		t.Error("nothing should be exhausted under a 100s budget")
+	}
+	if got, want := met.RepSeconds.Count(), uint64(m1.Reps()+m2.Reps()); got != want {
+		t.Errorf("rep histogram count = %d, want %d", got, want)
+	}
+	// A nil Metrics field must be a no-op, not a panic.
+	r2 := NewRunner(Options{MaxReps: 2, SyncJitter: 1e-7})
+	if _, err := r2.Measure(cfg, net, topo, 1024, 3); err != nil {
+		t.Fatal(err)
 	}
 }

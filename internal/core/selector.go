@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/ml"
 	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/obs"
 )
 
 // Features maps an instance to the model's feature vector. Message size
@@ -50,9 +52,13 @@ type Selector struct {
 	Learner string
 	// TrainNodes records which node counts supplied training data.
 	TrainNodes []int
+	// FitWall is the total wall-clock time spent fitting the
+	// per-configuration regression models, in seconds.
+	FitWall float64
 
-	configs []mpilib.Config
-	models  map[int]ml.Regressor
+	configs    []mpilib.Config
+	models     map[int]ml.Regressor
+	selectHist *obs.Histogram
 }
 
 // Train fits one regression model per selectable configuration using the
@@ -86,6 +92,8 @@ func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, train
 		ys[s.ConfigID] = append(ys[s.ConfigID], s.Time)
 	}
 
+	fitHist := obs.Default.Histogram("core_fit_seconds", obs.Labels{"learner": learner})
+	sel.selectHist = obs.Default.Histogram("core_select_seconds", obs.Labels{"learner": learner})
 	for _, cfg := range sel.configs {
 		x, y := xs[cfg.ID], ys[cfg.ID]
 		if len(x) == 0 {
@@ -96,9 +104,13 @@ func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, train
 		if err != nil {
 			return nil, err
 		}
+		t0 := time.Now()
 		if err := m.Fit(x, y); err != nil {
 			return nil, fmt.Errorf("core: fitting %s for config %d (%s): %w", learner, cfg.ID, cfg.Label(), err)
 		}
+		wall := time.Since(t0).Seconds()
+		sel.FitWall += wall
+		fitHist.Observe(wall)
 		sel.models[cfg.ID] = m
 	}
 	return sel, nil
@@ -134,6 +146,10 @@ func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
 // SelectFeatures is Select on an explicit feature vector (used by the
 // permutation-importance analysis, which tampers with single features).
 func (s *Selector) SelectFeatures(f []float64) Prediction {
+	if s.selectHist != nil {
+		t0 := time.Now()
+		defer func() { s.selectHist.Observe(time.Since(t0).Seconds()) }()
+	}
 	var best Prediction
 	first := true
 	for _, cfg := range s.configs {

@@ -12,8 +12,12 @@ import (
 	"mpicollpred/internal/bench"
 )
 
-// csvHeader is the on-disk column layout.
-var csvHeader = []string{"config_id", "alg_id", "nodes", "ppn", "msize", "time_s", "reps"}
+// csvHeader is the on-disk column layout (v2). v1 files lack the last two
+// accounting columns and are still readable; see ReadCSV.
+var csvHeader = []string{"config_id", "alg_id", "nodes", "ppn", "msize", "time_s", "reps", "consumed_s", "exhausted"}
+
+// csvLegacyCols is the column count of the v1 layout.
+const csvLegacyCols = 7
 
 // WriteCSV serializes the dataset. The first record is a comment-like meta
 // row carrying the spec identity and the consumed benchmark budget.
@@ -36,6 +40,8 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		row[4] = strconv.FormatInt(s.Msize, 10)
 		row[5] = strconv.FormatFloat(s.Time, 'g', -1, 64)
 		row[6] = strconv.Itoa(s.Reps)
+		row[7] = strconv.FormatFloat(s.Consumed, 'g', -1, 64)
+		row[8] = strconv.FormatBool(s.Exhausted)
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -64,7 +70,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading header: %w", err)
 	}
-	if len(header) != len(csvHeader) {
+	if len(header) != len(csvHeader) && len(header) != csvLegacyCols {
 		return nil, fmt.Errorf("dataset: unexpected header %v", header)
 	}
 	nodesSet := map[int]bool{}
@@ -99,6 +105,18 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 		if s.Reps, err = strconv.Atoi(rec[6]); err != nil {
 			return nil, err
+		}
+		if len(rec) >= len(csvHeader) {
+			if s.Consumed, err = strconv.ParseFloat(rec[7], 64); err != nil {
+				return nil, err
+			}
+			if s.Exhausted, err = strconv.ParseBool(rec[8]); err != nil {
+				return nil, err
+			}
+		} else {
+			// v1 rows carry no per-sample accounting; the repetition sum
+			// approximates what the measurement consumed.
+			s.Consumed = s.Time * float64(s.Reps)
 		}
 		d.Samples = append(d.Samples, s)
 		nodesSet[s.Nodes] = true

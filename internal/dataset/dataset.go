@@ -10,6 +10,7 @@ import (
 	"mpicollpred/internal/bench"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/obs"
 	"mpicollpred/internal/sim"
 )
 
@@ -23,6 +24,12 @@ type Sample struct {
 	Msize    int64
 	Time     float64 // seconds
 	Reps     int
+	// Consumed is the simulated benchmarking time this sample cost
+	// (sum over its repetitions).
+	Consumed float64
+	// Exhausted reports whether the ReproMPI time budget cut the
+	// measurement short of its repetition cap.
+	Exhausted bool
 }
 
 // Spec describes one dataset of Table II.
@@ -162,6 +169,12 @@ func Generate(spec Spec, opts bench.Options, progress func(done, total int)) (*D
 	if err != nil {
 		return nil, err
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = bench.NewMetrics(obs.Default, obs.Labels{
+			"dataset": spec.Name, "machine": spec.Machine,
+			"lib": spec.Lib, "coll": spec.Coll,
+		})
+	}
 	ds := &Dataset{Spec: spec}
 	runner := bench.NewRunner(opts)
 	total := spec.NumInstances() * len(set.Configs)
@@ -185,6 +198,7 @@ func Generate(spec Spec, opts bench.Options, progress func(done, total int)) (*D
 						ConfigID: cfg.ID, AlgID: cfg.AlgID,
 						Nodes: n, PPN: ppn, Msize: m,
 						Time: meas.Median(), Reps: meas.Reps(),
+						Consumed: meas.Consumed, Exhausted: meas.Exhausted,
 					})
 					ds.Consumed += meas.Consumed
 					done++
@@ -204,6 +218,17 @@ func (d *Dataset) buildIndex() {
 	for _, s := range d.Samples {
 		d.index[instKey{s.ConfigID, s.Nodes, s.PPN, s.Msize}] = s.Time
 	}
+}
+
+// ExhaustedCount returns how many samples were cut short by the time budget.
+func (d *Dataset) ExhaustedCount() int {
+	n := 0
+	for _, s := range d.Samples {
+		if s.Exhausted {
+			n++
+		}
+	}
+	return n
 }
 
 // Lookup returns the measured time of a configuration on an instance.

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -193,6 +194,53 @@ func TestCSVRoundTrip(t *testing.T) {
 	// Reconstructed grids must match the generated ones.
 	if len(d2.Spec.Nodes) != len(d.Spec.Nodes) || len(d2.Spec.Msizes) != len(d.Spec.Msizes) {
 		t.Error("grid reconstruction broken")
+	}
+}
+
+func TestReadCSVLegacyFormat(t *testing.T) {
+	// v1 cache files (7 columns, no per-sample accounting) must still load:
+	// Consumed is estimated from time × reps and Exhausted defaults off.
+	legacy := "#meta,d1,Open MPI,4.0.2,bcast,Hydra,12.5\n" +
+		"config_id,alg_id,nodes,ppn,msize,time_s,reps\n" +
+		"1,1,4,8,1024,0.002,5\n" +
+		"2,2,4,8,1024,0.004,2\n"
+	d, err := ReadCSV(bytes.NewBufferString(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 2 {
+		t.Fatalf("samples = %d", len(d.Samples))
+	}
+	if d.Consumed != 12.5 {
+		t.Errorf("meta consumed = %v", d.Consumed)
+	}
+	s := d.Samples[0]
+	if math.Abs(s.Consumed-0.002*5) > 1e-12 || s.Exhausted {
+		t.Errorf("legacy accounting defaults wrong: %+v", s)
+	}
+	if _, ok := d.Lookup(2, 4, 8, 1024); !ok {
+		t.Error("legacy rows must index normally")
+	}
+}
+
+func TestCSVAccountingRoundTrip(t *testing.T) {
+	d := smokeDataset(t, "d1")
+	// Force a mix of values through the exhausted/consumed columns.
+	d.Samples[0].Exhausted = true
+	d.Samples[0].Consumed = 0.123
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Samples[0].Exhausted || d2.Samples[0].Consumed != 0.123 {
+		t.Errorf("accounting columns lost: %+v", d2.Samples[0])
+	}
+	if d2.ExhaustedCount() != d.ExhaustedCount() {
+		t.Errorf("exhausted count %d vs %d", d2.ExhaustedCount(), d.ExhaustedCount())
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/obs"
 )
 
 // InstanceResult compares the three strategies on one test instance. All
@@ -41,6 +43,10 @@ type Evaluation struct {
 	TestNodes  []int
 	Results    []InstanceResult
 	Selector   *core.Selector
+	// TrainWall and EvalWall are the wall-clock seconds spent training the
+	// selector and evaluating the test instances, respectively.
+	TrainWall float64
+	EvalWall  float64
 }
 
 // Evaluate trains a selector on trainNodes and evaluates it on every
@@ -50,6 +56,7 @@ type Evaluation struct {
 func Evaluate(ds *dataset.Dataset, mach machine.Machine, set *mpilib.CollectiveSet,
 	learner string, trainNodes, testNodes []int) (*Evaluation, error) {
 
+	tTrain := time.Now()
 	sel, err := core.Train(ds, set, learner, trainNodes)
 	if err != nil {
 		return nil, err
@@ -60,6 +67,7 @@ func Evaluate(ds *dataset.Dataset, mach machine.Machine, set *mpilib.CollectiveS
 		TrainNodes: append([]int(nil), trainNodes...),
 		TestNodes:  append([]int(nil), testNodes...),
 		Selector:   sel,
+		TrainWall:  time.Since(tTrain).Seconds(),
 	}
 	inTest := map[int]bool{}
 	for _, n := range testNodes {
@@ -78,6 +86,7 @@ func Evaluate(ds *dataset.Dataset, mach machine.Machine, set *mpilib.CollectiveS
 		return a.Msize < b.Msize
 	})
 
+	tEval := time.Now()
 	for _, in := range instances {
 		if !inTest[in.Nodes] {
 			continue
@@ -88,9 +97,12 @@ func Evaluate(ds *dataset.Dataset, mach machine.Machine, set *mpilib.CollectiveS
 		}
 		ev.Results = append(ev.Results, res)
 	}
+	ev.EvalWall = time.Since(tEval).Seconds()
 	if len(ev.Results) == 0 {
 		return nil, fmt.Errorf("eval: no test instances for nodes %v in %s", testNodes, ds.Spec.Name)
 	}
+	obs.Default.Counter("eval_instances_total",
+		obs.Labels{"dataset": ev.Dataset, "learner": learner}).Add(int64(len(ev.Results)))
 	return ev, nil
 }
 

@@ -18,7 +18,10 @@ type Machine struct {
 	Name   string
 	MaxN   int // compute nodes available to us
 	MaxPPN int // cores (= max processes) per node
-	Net    netmodel.Params
+	// BenchBudget is the per-configuration ReproMPI time budget in seconds
+	// used on this machine (paper §V: 0.5 s on SuperMUC-NG, 1 s elsewhere).
+	BenchBudget float64
+	Net         netmodel.Params
 	// RefNet is the slightly different "reference system" on which the
 	// simulated vendor (Intel-style) decision tables were tuned. It stands
 	// in for the vendor's internal tuning cluster.
@@ -34,7 +37,7 @@ func Hydra() Machine {
 		OSend: 0.35e-6, ORecv: 0.40e-6, OByte: 0.05e-9, Gamma: 1.0 / 6.0e9,
 		Eager: 16384, RendezvousL: 2.2e-6, Sigma: 0.06,
 	}
-	return Machine{Name: "Hydra", MaxN: 36, MaxPPN: 32, Net: p, RefNet: p.Perturb(0.92, 1.07)}
+	return Machine{Name: "Hydra", MaxN: 36, MaxPPN: 32, BenchBudget: 1.0, Net: p, RefNet: p.Perturb(0.92, 1.07)}
 }
 
 // Jupiter models the older AMD Opteron 6134 cluster with single-rail QDR
@@ -47,7 +50,7 @@ func Jupiter() Machine {
 		OSend: 0.60e-6, ORecv: 0.70e-6, OByte: 0.09e-9, Gamma: 1.0 / 3.0e9,
 		Eager: 12288, RendezvousL: 3.4e-6, Sigma: 0.08,
 	}
-	return Machine{Name: "Jupiter", MaxN: 35, MaxPPN: 16, Net: p, RefNet: p.Perturb(0.90, 1.10)}
+	return Machine{Name: "Jupiter", MaxN: 35, MaxPPN: 16, BenchBudget: 1.0, Net: p, RefNet: p.Perturb(0.90, 1.10)}
 }
 
 // SuperMUCNG models the SuperMUC-NG islands (Skylake Platinum 8174, 48
@@ -60,7 +63,7 @@ func SuperMUCNG() Machine {
 		OSend: 0.30e-6, ORecv: 0.35e-6, OByte: 0.04e-9, Gamma: 1.0 / 7.0e9,
 		Eager: 16384, RendezvousL: 2.1e-6, Sigma: 0.05,
 	}
-	return Machine{Name: "SuperMUC-NG", MaxN: 48, MaxPPN: 48, Net: p, RefNet: p.Perturb(0.95, 1.05)}
+	return Machine{Name: "SuperMUC-NG", MaxN: 48, MaxPPN: 48, BenchBudget: 0.5, Net: p, RefNet: p.Perturb(0.95, 1.05)}
 }
 
 // ByName returns the named machine profile.

@@ -76,6 +76,19 @@ func (t Topology) NodeOf(rank int32) int32 {
 // SameNode reports whether two ranks share a node.
 func (t Topology) SameNode(a, b int32) bool { return t.NodeOf(a) == t.NodeOf(b) }
 
+// Stats is the per-run accounting block of a Model: transfer counts and the
+// queueing delay messages spent waiting for a busy NIC or memory bus — the
+// contention component of a schedule's running time, invisible in the
+// makespan alone.
+type Stats struct {
+	Messages      int   // transfers through the model
+	IntraNode     int   // transfers that stayed on-node
+	InterNode     int   // transfers that crossed the fabric
+	Bytes         int64 // total payload bytes transferred
+	QueueDelay    float64
+	MaxQueueDelay float64
+}
+
 // Model implements sim.CostModel. A Model is stateful per run: per-node NIC
 // and memory-bus availability accumulate as messages are simulated. Create a
 // fresh Model (or call Reset) for every independent run.
@@ -87,6 +100,10 @@ type Model struct {
 	egress  []float64 // per node: NIC injection available-from time
 	ingress []float64 // per node: NIC ejection available-from time
 	mem     []float64 // per node: memory-bus available-from time
+
+	// Instrumentation, both off by default.
+	stats  *Stats
+	tracer sim.ResourceTracer
 }
 
 // New returns a run-ready Model. seed keys the deterministic noise; noisy
@@ -104,7 +121,8 @@ func New(prm Params, topo Topology, seed uint64, noisy bool) *Model {
 }
 
 // Reset clears resource state and reseeds the noise stream, making the Model
-// ready for another independent run on the same topology.
+// ready for another independent run on the same topology. Collected stats
+// are zeroed but collection stays enabled.
 func (m *Model) Reset(seed uint64) {
 	for i := range m.egress {
 		m.egress[i] = 0
@@ -114,7 +132,32 @@ func (m *Model) Reset(seed uint64) {
 	if m.rng != nil {
 		m.rng = sim.NewRNG(seed)
 	}
+	if m.stats != nil {
+		*m.stats = Stats{}
+	}
 }
+
+// CollectStats enables (or disables) per-run transfer accounting.
+func (m *Model) CollectStats(on bool) {
+	if on {
+		m.stats = &Stats{}
+	} else {
+		m.stats = nil
+	}
+}
+
+// Stats returns the accounting since the last Reset (zero when collection
+// is disabled).
+func (m *Model) Stats() Stats {
+	if m.stats == nil {
+		return Stats{}
+	}
+	return *m.stats
+}
+
+// SetTracer installs a resource-occupancy tracer (nil disables). The tracer
+// receives one span per NIC/memory-bus busy period.
+func (m *Model) SetTracer(t sim.ResourceTracer) { m.tracer = t }
 
 // Params returns the model constants.
 func (m *Model) Params() Params { return m.prm }
@@ -149,6 +192,12 @@ func (m *Model) transfer(src, dst int32, bytes uint32, ready float64) (egressDon
 		if arrival < egressDone {
 			arrival = egressDone
 		}
+		if m.stats != nil {
+			m.noteTransfer(bytes, start-ready, true)
+		}
+		if m.tracer != nil && busy > 0 {
+			m.tracer.ResourceSpan("mem", node, start, start+busy)
+		}
 		return egressDone, arrival
 	}
 	sn, dn := m.topo.NodeOf(src), m.topo.NodeOf(dst)
@@ -161,7 +210,32 @@ func (m *Model) transfer(src, dst int32, bytes uint32, ready float64) (egressDon
 	if arrival < egressDone {
 		arrival = egressDone
 	}
+	if m.stats != nil {
+		m.noteTransfer(bytes, start-ready, false)
+	}
+	if m.tracer != nil && busy > 0 {
+		m.tracer.ResourceSpan("nic", sn, start, start+busy)
+	}
 	return egressDone, arrival
+}
+
+// noteTransfer records one transfer in the stats block. wait is the time the
+// message queued for a busy NIC or memory bus before its bytes could move.
+func (m *Model) noteTransfer(bytes uint32, wait float64, intra bool) {
+	s := m.stats
+	s.Messages++
+	s.Bytes += int64(bytes)
+	if intra {
+		s.IntraNode++
+	} else {
+		s.InterNode++
+	}
+	if wait > 0 {
+		s.QueueDelay += wait
+		if wait > s.MaxQueueDelay {
+			s.MaxQueueDelay = wait
+		}
+	}
 }
 
 // SendEager implements sim.CostModel. The sender copies the message into

@@ -1,0 +1,108 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+type nicSpan struct {
+	resource   string
+	node       int32
+	start, end float64
+}
+
+type recordingResourceTracer struct{ spans []nicSpan }
+
+func (r *recordingResourceTracer) ResourceSpan(resource string, node int32, start, end float64) {
+	r.spans = append(r.spans, nicSpan{resource, node, start, end})
+}
+
+func TestStatsAccountQueueDelay(t *testing.T) {
+	// Four simultaneous off-node sends from node 0 serialize on its NIC:
+	// three of them must book queueing delay.
+	topo := Topology{Nodes: 5, PPN: 4}
+	m := New(testParams(), topo, 1, false)
+	m.CollectStats(true)
+	for i := 0; i < 4; i++ {
+		m.SendEager(int32(i), int32((i+1)*4), 8192, 0)
+	}
+	s := m.Stats()
+	if s.Messages != 4 || s.InterNode != 4 || s.IntraNode != 0 {
+		t.Errorf("message accounting wrong: %+v", s)
+	}
+	if s.Bytes != 4*8192 {
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+	if s.QueueDelay <= 0 {
+		t.Errorf("concurrent senders must queue: %+v", s)
+	}
+	// Serialization of 8192 B at GNic: message k waits ~k*busy (minus its
+	// own later ready time; here all ready at the same adjusted time).
+	busy := 8192 * testParams().GNic
+	if s.MaxQueueDelay < busy/2 || s.MaxQueueDelay > 4*busy {
+		t.Errorf("max queue delay %v implausible for busy=%v", s.MaxQueueDelay, busy)
+	}
+
+	// Reset zeroes the accounting but keeps collection on.
+	m.Reset(1)
+	if got := m.Stats(); got != (Stats{}) {
+		t.Errorf("stats must clear on Reset: %+v", got)
+	}
+	m.SendEager(0, 4, 64, 0)
+	if got := m.Stats(); got.Messages != 1 {
+		t.Errorf("collection must stay enabled after Reset: %+v", got)
+	}
+}
+
+func TestStatsDisabledIsZero(t *testing.T) {
+	m := New(testParams(), Topology{Nodes: 2, PPN: 1}, 1, false)
+	m.SendEager(0, 1, 1024, 0)
+	if got := m.Stats(); got != (Stats{}) {
+		t.Errorf("stats off must read zero: %+v", got)
+	}
+}
+
+func TestResourceTracerSpans(t *testing.T) {
+	topo := Topology{Nodes: 2, PPN: 2}
+	m := New(testParams(), topo, 1, false)
+	tr := &recordingResourceTracer{}
+	m.SetTracer(tr)
+	m.SendEager(0, 2, 4096, 0) // inter-node: nic span on node 0
+	m.SendEager(0, 1, 4096, 0) // intra-node: mem span on node 0
+	if len(tr.spans) != 2 {
+		t.Fatalf("want 2 spans, got %+v", tr.spans)
+	}
+	if tr.spans[0].resource != "nic" || tr.spans[0].node != 0 {
+		t.Errorf("first span should be nic@0: %+v", tr.spans[0])
+	}
+	if tr.spans[1].resource != "mem" || tr.spans[1].node != 0 {
+		t.Errorf("second span should be mem@0: %+v", tr.spans[1])
+	}
+	for _, sp := range tr.spans {
+		if sp.end <= sp.start || math.IsNaN(sp.end) {
+			t.Errorf("degenerate span %+v", sp)
+		}
+	}
+}
+
+func TestInstrumentationDoesNotChangeTiming(t *testing.T) {
+	topo := Topology{Nodes: 3, PPN: 2}
+	run := func(instrument bool) float64 {
+		m := New(testParams(), topo, 7, true)
+		if instrument {
+			m.CollectStats(true)
+			m.SetTracer(&recordingResourceTracer{})
+		}
+		worst := 0.0
+		for i := 0; i < 6; i++ {
+			_, arr := m.SendEager(int32(i), int32((i+2)%6), 2048, 0)
+			if arr > worst {
+				worst = arr
+			}
+		}
+		return worst
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("instrumentation changed timing: %v vs %v", a, b)
+	}
+}

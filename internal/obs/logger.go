@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level selects logger verbosity.
+type Level int32
+
+const (
+	// LevelQuiet suppresses everything except errors.
+	LevelQuiet Level = iota
+	// LevelInfo is the default: progress and stage summaries.
+	LevelInfo
+	// LevelDebug adds per-step detail.
+	LevelDebug
+)
+
+// FlagLevel maps the conventional -v / -quiet CLI flag pair to a Level
+// (-quiet wins when both are set).
+func FlagLevel(verbose, quiet bool) Level {
+	switch {
+	case quiet:
+		return LevelQuiet
+	case verbose:
+		return LevelDebug
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is a minimal leveled logger stamping each line with the elapsed
+// wall time since construction. A nil *Logger is valid and silent, so
+// library code can log unconditionally.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+	start time.Time
+}
+
+// NewLogger returns a Logger writing lines at or below level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level, start: time.Now()}
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.level >= level
+}
+
+func (l *Logger) printf(tag, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%8.3fs] %-5s ", time.Since(l.start).Seconds(), tag)
+	fmt.Fprintf(l.w, format, args...)
+	fmt.Fprintln(l.w)
+}
+
+// Infof logs at LevelInfo.
+func (l *Logger) Infof(format string, args ...any) {
+	if l.Enabled(LevelInfo) {
+		l.printf("INFO", format, args...)
+	}
+}
+
+// Debugf logs at LevelDebug.
+func (l *Logger) Debugf(format string, args ...any) {
+	if l.Enabled(LevelDebug) {
+		l.printf("DEBUG", format, args...)
+	}
+}
+
+// Errorf always logs (even in quiet mode): errors must not be silenced.
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.printf("ERROR", format, args...)
+}

@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Progress is a throttled progress/ETA reporter for long generation loops.
+// It matches the dataset generator's callback shape via Func, logging at
+// most once per interval with the current rate and the estimated time to
+// completion.
+type Progress struct {
+	l        *Logger
+	label    string
+	interval time.Duration
+	start    time.Time
+	last     time.Time
+	done     int
+	total    int
+}
+
+// NewProgress returns a reporter logging through l (nil-safe) under label.
+func NewProgress(l *Logger, label string) *Progress {
+	return &Progress{l: l, label: label, interval: time.Second, start: time.Now()}
+}
+
+// Update records that done of total work items are complete and logs a
+// rate/ETA line if the throttle interval has elapsed.
+func (p *Progress) Update(done, total int) {
+	p.done, p.total = done, total
+	if !p.l.Enabled(LevelInfo) {
+		return
+	}
+	now := time.Now()
+	if now.Sub(p.last) < p.interval && done < total {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start).Seconds()
+	if elapsed <= 0 || done <= 0 {
+		return
+	}
+	rate := float64(done) / elapsed
+	eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+	p.l.Infof("%s: %d/%d (%.0f%%) %.0f/s, ETA %v",
+		p.label, done, total, 100*float64(done)/float64(total), rate, eta.Round(time.Second))
+}
+
+// Func adapts the reporter to the func(done, total int) callback shape used
+// by dataset.Generate.
+func (p *Progress) Func() func(done, total int) { return p.Update }
+
+// Finish logs the completion summary (count and wall time).
+func (p *Progress) Finish() {
+	p.l.Infof("%s: %d items in %v", p.label, p.done, time.Since(p.start).Round(time.Millisecond))
+}

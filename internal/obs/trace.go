@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mpicollpred/internal/sim"
+)
+
+// Trace accumulates simulator timeline spans and renders them in the Chrome
+// trace-event (catapult) JSON format, viewable in chrome://tracing or
+// Perfetto. Rank timelines appear as threads of the "ranks" process; NIC and
+// memory-bus occupancy as threads of the "nodes" process. Simulated seconds
+// map to trace microseconds.
+//
+// Trace implements sim.Tracer and sim.ResourceTracer: install it on both
+// the Engine and the cost model to get a complete picture. It is not safe
+// for concurrent use (the Engine is single-threaded).
+type Trace struct {
+	events []traceEvent
+	ranks  map[int32]bool
+	nodes  map[int32]bool
+}
+
+// Pids of the two trace processes.
+const (
+	tracePidRanks = 1
+	tracePidNodes = 2
+)
+
+// traceEvent is one Chrome trace-event entry. Ph "X" is a complete span; the
+// metadata events (ph "M") name the processes and threads.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace returns an empty trace builder.
+func NewTrace() *Trace {
+	return &Trace{ranks: map[int32]bool{}, nodes: map[int32]bool{}}
+}
+
+// secUS converts simulated seconds to trace microseconds.
+func secUS(s float64) float64 { return s * 1e6 }
+
+// OpSpan implements sim.Tracer.
+func (t *Trace) OpSpan(rank int32, kind sim.OpKind, peer int32, bytes uint32, start, end float64, rendezvous bool) {
+	name := kind.String()
+	args := map[string]any{"bytes": bytes}
+	switch kind {
+	case sim.OpSend, sim.OpSendNB:
+		name = fmt.Sprintf("%s to %d", kind, peer)
+		args["peer"] = peer
+		args["protocol"] = protoName(rendezvous)
+	case sim.OpRecv:
+		name = fmt.Sprintf("recv from %d", peer)
+		args["peer"] = peer
+		args["protocol"] = protoName(rendezvous)
+	}
+	t.ranks[rank] = true
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: kind.String(), Ph: "X",
+		Ts: secUS(start), Dur: secUS(end - start),
+		Pid: tracePidRanks, Tid: rank, Args: args,
+	})
+}
+
+func protoName(rendezvous bool) string {
+	if rendezvous {
+		return "rendezvous"
+	}
+	return "eager"
+}
+
+// ResourceSpan implements sim.ResourceTracer.
+func (t *Trace) ResourceSpan(resource string, node int32, start, end float64) {
+	t.nodes[node] = true
+	t.events = append(t.events, traceEvent{
+		Name: resource, Cat: "resource", Ph: "X",
+		Ts: secUS(start), Dur: secUS(end - start),
+		Pid: tracePidNodes, Tid: node,
+	})
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int { return len(t.events) }
+
+// traceFile is the top-level JSON object ("JSON Object Format" of the trace
+// event spec — the most portable container).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON renders the trace. Metadata events naming every process and
+// thread are emitted first, then the spans in recording order.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	meta := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: tracePidRanks, Args: map[string]any{"name": "ranks"}},
+		{Name: "process_name", Ph: "M", Pid: tracePidNodes, Args: map[string]any{"name": "nodes"}},
+	}
+	for _, r := range sortedKeys(t.ranks) {
+		meta = append(meta, traceEvent{Name: "thread_name", Ph: "M", Pid: tracePidRanks, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}})
+	}
+	for _, n := range sortedKeys(t.nodes) {
+		meta = append(meta, traceEvent{Name: "thread_name", Ph: "M", Pid: tracePidNodes, Tid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)}})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: append(meta, t.events...), DisplayTimeUnit: "ms"})
+}
+
+func sortedKeys(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

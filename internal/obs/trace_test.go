@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpicollpred/internal/coll"
+	"mpicollpred/internal/netmodel"
+	"mpicollpred/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildBinomialTrace runs a noise-free segmented binomial bcast on 8 ranks
+// (2 nodes x 4 ppn) with both tracers installed and returns the trace.
+// Everything is deterministic, so the output is golden-file stable.
+func buildBinomialTrace(t *testing.T) *Trace {
+	t.Helper()
+	topo := netmodel.Topology{Nodes: 2, PPN: 4}
+	b := sim.NewBuilder(topo.P(), false)
+	coll.BcastBinomial(b, topo, 4096, coll.Params{Seg: 2048})
+	prog := b.Build()
+
+	prm := netmodel.Params{
+		LInter: 1e-6, GInter: 1e-10, GNic: 1.2e-10,
+		LIntra: 3e-7, GIntra: 1.2e-10, GMem: 0.4e-10,
+		OSend: 3e-7, ORecv: 3.5e-7, OByte: 0.5e-10, Gamma: 1.6e-10,
+		Eager: 4096, RendezvousL: 2e-6, Sigma: 0,
+	}
+	model := netmodel.New(prm, topo, 1, false)
+	tr := NewTrace()
+	model.SetTracer(tr)
+
+	eng := sim.NewEngine()
+	eng.SetTracer(tr)
+	eng.CollectStats(true)
+	res, err := eng.Run(prog, model, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.MessagesMatched == 0 {
+		t.Fatalf("expected stats from traced run, got %+v", res.Stats)
+	}
+	return tr
+}
+
+func TestTraceGolden(t *testing.T) {
+	tr := buildBinomialTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bcast_binomial_2x4.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file %s (run with -update to regenerate)", golden)
+	}
+}
+
+func TestTraceWellFormed(t *testing.T) {
+	tr := buildBinomialTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The file must parse as the standard trace-event container and every
+	// span must carry non-negative timestamps and durations.
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int32   `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	spans, meta := 0, 0
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative span time: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans == 0 || meta == 0 {
+		t.Errorf("want both spans and metadata, got %d spans, %d meta", spans, meta)
+	}
+	if spans != tr.Len() {
+		t.Errorf("span count %d != recorded %d", spans, tr.Len())
+	}
+	// 7 binomial-tree messages over 2 segments: every non-root rank has a
+	// recv span, and the NIC must show up for the inter-node hops.
+	if tr.Len() < 14 {
+		t.Errorf("suspiciously few spans for a segmented binomial bcast: %d", tr.Len())
+	}
+}

@@ -39,10 +39,11 @@ func buildTree(p, segs int) *Program {
 	return b.Build()
 }
 
-func benchProgram(b *testing.B, prog *Program) {
+func benchProgram(b *testing.B, prog *Program, stats bool) {
 	b.Helper()
 	model := newTestModel()
 	eng := NewEngine()
+	eng.CollectStats(stats)
 	b.ResetTimer()
 	totalEvents := 0
 	for i := 0; i < b.N; i++ {
@@ -58,7 +59,17 @@ func benchProgram(b *testing.B, prog *Program) {
 func BenchmarkEngineRing(b *testing.B) {
 	for _, p := range []int{64, 512} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			benchProgram(b, buildRing(p, 2*(p-1)))
+			benchProgram(b, buildRing(p, 2*(p-1)), false)
+		})
+	}
+}
+
+// BenchmarkEngineRingStats is the metrics-enabled twin of BenchmarkEngineRing;
+// the observability acceptance bar is < 5% events/s regression against it.
+func BenchmarkEngineRingStats(b *testing.B) {
+	for _, p := range []int{64, 512} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchProgram(b, buildRing(p, 2*(p-1)), true)
 		})
 	}
 }
@@ -66,7 +77,15 @@ func BenchmarkEngineRing(b *testing.B) {
 func BenchmarkEngineBinomialPipelined(b *testing.B) {
 	for _, p := range []int{64, 512} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
-			benchProgram(b, buildTree(p, 64))
+			benchProgram(b, buildTree(p, 64), false)
+		})
+	}
+}
+
+func BenchmarkEngineBinomialPipelinedStats(b *testing.B) {
+	for _, p := range []int{64, 512} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchProgram(b, buildTree(p, 64), true)
 		})
 	}
 }

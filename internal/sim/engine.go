@@ -47,6 +47,9 @@ type Result struct {
 	Time float64
 	// Events is the number of executed operations.
 	Events int
+	// Stats carries the per-run instrumentation block; nil unless enabled
+	// via Engine.CollectStats.
+	Stats *Stats
 }
 
 type rankStatus uint8
@@ -96,10 +99,24 @@ type Engine struct {
 	model CostModel
 	obs   Observer
 	done  int
+
+	// Instrumentation, both off by default: per-run counters (reset by Run,
+	// surfaced as Result.Stats) and the timeline tracer.
+	collectStats bool
+	stats        Stats
+	tracer       Tracer
 }
 
 // NewEngine returns an empty Engine.
 func NewEngine() *Engine { return &Engine{} }
+
+// CollectStats enables (or disables) per-run statistics collection for
+// subsequent Run calls. When enabled, Run attaches a Stats block to Result.
+func (e *Engine) CollectStats(on bool) { e.collectStats = on }
+
+// SetTracer installs a timeline tracer for subsequent Run calls (nil
+// disables tracing).
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 func pairKey(src, dst int32) uint64 { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
 
@@ -163,6 +180,9 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 	e.model = model
 	e.obs = obs
 	e.done = 0
+	if e.collectStats {
+		e.stats = Stats{}
+	}
 
 	minStart := 0.0
 	for r := 0; r < p; r++ {
@@ -204,6 +224,9 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 				return Result{}, err
 			}
 			events++
+			if e.collectStats && len(e.heap) > e.stats.PeakHeapDepth {
+				e.stats.PeakHeapDepth = len(e.heap)
+			}
 			if !advanced {
 				break // blocked; woken later
 			}
@@ -219,6 +242,10 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 	}
 
 	res := Result{Finish: append([]float64(nil), e.clock...), Events: events}
+	if e.collectStats {
+		s := e.stats
+		res.Stats = &s
+	}
 	maxT := 0.0
 	for _, t := range e.clock {
 		if t > maxT {
@@ -233,10 +260,17 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 // blocked (without advancing pc).
 func (e *Engine) step(r int) (bool, error) {
 	op := &e.prog.Ranks[r][e.pc[r]]
+	t0 := e.clock[r]
 	switch op.Kind {
 	case OpCompute:
 		e.clock[r] += e.model.Compute(op.Bytes)
 		e.pc[r]++
+		if e.collectStats {
+			e.stats.Computes++
+		}
+		if e.tracer != nil {
+			e.tracer.OpSpan(int32(r), OpCompute, -1, op.Bytes, t0, e.clock[r], false)
+		}
 		return true, nil
 
 	case OpSend, OpSendNB:
@@ -254,7 +288,7 @@ func (e *Engine) step(r int) (bool, error) {
 					return false, matchErr(r, int(op.Peer), op.Bytes, ps.recvBytes)
 				}
 				ps.waiting = false
-				if err := e.wakeReceiver(op.Peer, maxf(ps.recvPost, arr), op); err != nil {
+				if err := e.wakeReceiver(int32(r), op.Peer, maxf(ps.recvPost, arr), ps.recvPost, op, false); err != nil {
 					return false, err
 				}
 			} else {
@@ -263,6 +297,13 @@ func (e *Engine) step(r int) (bool, error) {
 			}
 			e.clock[r] = sdone
 			e.pc[r]++
+			if e.collectStats {
+				e.stats.Sends++
+				e.stats.EagerSends++
+			}
+			if e.tracer != nil {
+				e.tracer.OpSpan(int32(r), op.Kind, op.Peer, op.Bytes, t0, e.clock[r], false)
+			}
 			return true, nil
 		}
 		nb := op.Kind == OpSendNB
@@ -272,7 +313,7 @@ func (e *Engine) step(r int) (bool, error) {
 				return false, matchErr(r, int(op.Peer), op.Bytes, ps.recvBytes)
 			}
 			ps.waiting = false
-			if err := e.wakeReceiver(op.Peer, arr, op); err != nil {
+			if err := e.wakeReceiver(int32(r), op.Peer, arr, ps.recvPost, op, true); err != nil {
 				return false, err
 			}
 			if nb {
@@ -281,6 +322,13 @@ func (e *Engine) step(r int) (bool, error) {
 				e.clock[r] = sdone
 			}
 			e.pc[r]++
+			if e.collectStats {
+				e.stats.Sends++
+				e.stats.RendezvousSends++
+			}
+			if e.tracer != nil {
+				e.tracer.OpSpan(int32(r), op.Kind, op.Peer, op.Bytes, t0, e.clock[r], true)
+			}
 			return true, nil
 		}
 		// Record the pending rendezvous. A blocking sender parks until the
@@ -290,9 +338,19 @@ func (e *Engine) step(r int) (bool, error) {
 		if nb {
 			e.clock[r] += e.model.PostOverhead(op.Bytes)
 			e.pc[r]++
+			if e.collectStats {
+				e.stats.Sends++
+				e.stats.RendezvousSends++
+			}
+			if e.tracer != nil {
+				e.tracer.OpSpan(int32(r), op.Kind, op.Peer, op.Bytes, t0, e.clock[r], true)
+			}
 			return true, nil
 		}
 		e.status[r] = statusBlockedSend
+		if e.collectStats {
+			e.stats.BlockedSends++
+		}
 		return false, nil
 
 	default: // OpRecv
@@ -302,6 +360,9 @@ func (e *Engine) step(r int) (bool, error) {
 			ps.recvPost = e.clock[r]
 			ps.recvBytes = op.Bytes
 			e.status[r] = statusBlockedRecv
+			if e.collectStats {
+				e.stats.BlockedRecvs++
+			}
 			return false, nil
 		}
 		rec := &ps.inflight[ps.head]
@@ -322,6 +383,13 @@ func (e *Engine) step(r int) (bool, error) {
 				e.pc[s]++
 				e.status[s] = statusReady
 				e.heap.push(sdone, s)
+				if e.collectStats {
+					e.stats.Sends++
+					e.stats.RendezvousSends++
+				}
+				if e.tracer != nil {
+					e.tracer.OpSpan(s, OpSend, int32(r), rec.bytes, rec.ts, sdone, true)
+				}
 			}
 		}
 		e.clock[r] = arrival + e.model.RecvOverhead(op.Bytes)
@@ -335,17 +403,33 @@ func (e *Engine) step(r int) (bool, error) {
 			ps.head = 0
 		}
 		e.pc[r]++
+		if e.collectStats {
+			e.stats.Recvs++
+			e.stats.MessagesMatched++
+		}
+		if e.tracer != nil {
+			e.tracer.OpSpan(int32(r), OpRecv, op.Peer, op.Bytes, t0, e.clock[r], !rec.eager)
+		}
 		return true, nil
 	}
 }
 
 // wakeReceiver finishes the receive parked at rank dst: the receiver's clock
-// advances to arrival + overhead and it becomes runnable again.
-func (e *Engine) wakeReceiver(dst int32, arrival float64, op *Op) error {
+// advances to arrival + overhead and it becomes runnable again. src is the
+// sending rank, recvPost the time the receive was posted (the start of its
+// timeline span), rendezvous the protocol of the matching send.
+func (e *Engine) wakeReceiver(src, dst int32, arrival, recvPost float64, op *Op, rendezvous bool) error {
 	e.clock[dst] = arrival + e.model.RecvOverhead(op.Bytes)
 	e.pc[dst]++
 	e.status[dst] = statusReady
 	e.heap.push(e.clock[dst], dst)
+	if e.collectStats {
+		e.stats.Recvs++
+		e.stats.MessagesMatched++
+	}
+	if e.tracer != nil {
+		e.tracer.OpSpan(dst, OpRecv, src, op.Bytes, recvPost, e.clock[dst], rendezvous)
+	}
 	if e.obs != nil && op.PayLen > 0 {
 		if err := e.obs.OnDeliver(dst, e.prog.Pay[op.PayStart:op.PayStart+int32(op.PayLen)]); err != nil {
 			return fmt.Errorf("deliver to rank %d: %w", dst, err)

@@ -1,0 +1,59 @@
+package sim
+
+// Stats is the per-run instrumentation block attached to Result when stats
+// collection is enabled via Engine.CollectStats. All counters are totals
+// over one Run.
+type Stats struct {
+	// Sends, Recvs and Computes partition the executed operations by kind
+	// (a blocked op that resumes later is counted once).
+	Sends    int
+	Recvs    int
+	Computes int
+	// EagerSends and RendezvousSends partition Sends by protocol.
+	EagerSends      int
+	RendezvousSends int
+	// MessagesMatched counts completed (send, recv) matches; at the end of
+	// a run it equals the number of delivered messages.
+	MessagesMatched int
+	// BlockedSends and BlockedRecvs count operations that had to park
+	// waiting for their partner (a measure of schedule slack).
+	BlockedSends int
+	BlockedRecvs int
+	// PeakHeapDepth is the maximum number of runnable-rank entries in the
+	// scheduler heap, sampled once per executed operation.
+	PeakHeapDepth int
+}
+
+// Tracer receives per-rank timeline spans during execution; used by the
+// Chrome trace exporter. Spans are reported in completion order, with
+// simulated-seconds endpoints. A nil Tracer disables the callbacks.
+type Tracer interface {
+	// OpSpan reports that rank occupied [start, end] executing an op of the
+	// given kind. peer is the partner rank (-1 for compute); rendezvous
+	// reports the protocol of a send.
+	OpSpan(rank int32, kind OpKind, peer int32, bytes uint32, start, end float64, rendezvous bool)
+}
+
+// ResourceTracer receives per-node resource occupancy spans (NIC injection,
+// memory bus) from the cost model; used by the Chrome trace exporter to
+// render NIC-queueing alongside the rank timelines.
+type ResourceTracer interface {
+	// ResourceSpan reports that the named resource ("nic", "mem") of node
+	// was busy over [start, end].
+	ResourceSpan(resource string, node int32, start, end float64)
+}
+
+// String names the op kind for traces and error messages.
+func (k OpKind) String() string {
+	switch k {
+	case OpSend:
+		return "send"
+	case OpSendNB:
+		return "isend"
+	case OpRecv:
+		return "recv"
+	case OpCompute:
+		return "compute"
+	}
+	return "op?"
+}
