@@ -143,6 +143,7 @@ func experimentsList() []experiment {
 		{"importance", "Permutation feature importance", runImportance},
 		{"crossval", "K-fold cross-validation by node count (SecV)", runCrossVal},
 		{"placement", "Block vs cyclic rank placement changes the best algorithm (SecI)", runPlacement},
+		{"robustness", "Speedup of predicted vs default under increasing fault intensity", runRobustness},
 	}
 }
 

@@ -3,32 +3,55 @@
 // instance grid of one of the paper's datasets (Table II, d1–d8) and caches
 // the result as CSV.
 //
+// The run is crash-safe: every completed measurement is appended to a
+// progress journal next to the cache file, SIGINT checkpoints cleanly, and
+// -resume continues an interrupted run without re-measuring (seeds depend
+// only on the configuration and instance, so a resumed run produces a cache
+// byte-identical to an uninterrupted one). -faults injects deterministic
+// hardware faults (stragglers, degraded NICs, noise bursts, clock outliers)
+// into the simulated machine; fault-perturbed caches are written under a
+// fault-specific tag so they never clobber the clean cache.
+//
 // Usage:
 //
 //	mpicollbench -dataset d1 -scale mid -cache results/cache
 //	mpicollbench -dataset all -scale mid -cache results/cache
+//	mpicollbench -dataset d1 -scale smoke -faults "straggler:node=0,factor=4" -cache /tmp/cache
+//	mpicollbench -dataset d1 -scale mid -resume -cache results/cache
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/fault"
 	"mpicollpred/internal/obs"
 )
 
 func main() {
 	var (
-		name    = flag.String("dataset", "all", "dataset to generate (d1..d8, or 'all')")
-		scale   = flag.String("scale", "mid", "grid scale: smoke, mid, or full")
-		cache   = flag.String("cache", "results/cache", "cache directory for generated datasets")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		quiet2  = flag.Bool("quiet", false, "alias for -q")
-		verbose = flag.Bool("v", false, "verbose (debug) logging")
-		metrics = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
-		listAll = flag.Bool("list", false, "list dataset specs and exit")
+		name       = flag.String("dataset", "all", "dataset to generate (d1..d8, or 'all')")
+		scale      = flag.String("scale", "mid", "grid scale: smoke, mid, or full")
+		cache      = flag.String("cache", "results/cache", "cache directory for generated datasets")
+		faultSpec  = flag.String("faults", "", "fault plan, e.g. 'straggler:node=0,factor=4;noise:sigma=0.3' (see internal/fault)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from its progress journal")
+		maxSamples = flag.Int("max-samples", 0, "stop after this many fresh measurements (0 = no limit; for testing resume)")
+		retries    = flag.Int("outlier-retries", 0, "re-measurement budget for outlier repetitions (0 = off)")
+		outlierK   = flag.Float64("outlier-k", 0, "MAD multiple beyond which a repetition is an outlier (0 = default)")
+		validate   = flag.Bool("validate", false, "validate the dataset after load/generate; exit nonzero on bad rows")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		quiet2     = flag.Bool("quiet", false, "alias for -q")
+		verbose    = flag.Bool("v", false, "verbose (debug) logging")
+		metrics    = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
+		listAll    = flag.Bool("list", false, "list dataset specs and exit")
 	)
 	flag.Parse()
 	*quiet = *quiet || *quiet2
@@ -47,6 +70,12 @@ func main() {
 		return
 	}
 
+	plan, err := fault.Parse(*faultSpec)
+	if err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		os.Exit(2)
+	}
+
 	var names []string
 	if *name == "all" {
 		for _, s := range specs {
@@ -56,17 +85,24 @@ func main() {
 		names = []string{*name}
 	}
 
+	// SIGINT/SIGTERM flip a flag the generator polls between measurements,
+	// so the journal is always left at a measurement boundary.
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		interrupted.Store(true)
+		signal.Stop(sigCh) // a second ^C kills immediately
+	}()
+
+	exitCode := 0
 	for _, n := range names {
-		start := time.Now()
-		prog := obs.NewProgress(log, n)
-		d, err := dataset.LoadOrGenerate(*cache, n, sc, prog.Func())
-		if err != nil {
-			log.Errorf("mpicollbench: %v", err)
-			os.Exit(1)
+		code := runOne(log, n, sc, *cache, plan, *resume, *maxSamples, *retries, *outlierK, *validate, &interrupted)
+		if code != 0 {
+			exitCode = code
+			break
 		}
-		prog.Finish()
-		fmt.Printf("%s: %d samples (%d budget-exhausted), %.1f simulated benchmark seconds, wall %v\n",
-			n, len(d.Samples), d.ExhaustedCount(), d.Consumed, time.Since(start).Round(time.Second))
 	}
 	if *metrics != "" {
 		if err := obs.Default.DumpFile(*metrics); err != nil {
@@ -75,4 +111,97 @@ func main() {
 		}
 		log.Infof("metrics snapshot -> %s", *metrics)
 	}
+	os.Exit(exitCode)
+}
+
+// runOne loads or (resumably) generates one dataset and reports it. The
+// returned code is 0 on success, 130 on a clean interrupt (journal saved),
+// 1 on error, 3 on validation failure.
+func runOne(log *obs.Logger, name string, sc dataset.Scale, cache string,
+	plan *fault.Plan, resume bool, maxSamples, retries int, outlierK float64,
+	validate bool, interrupted *atomic.Bool) int {
+
+	start := time.Now()
+	spec, err := dataset.SpecByName(name, sc)
+	if err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	path := dataset.CachePath(cache, name, sc, faultTag(plan))
+
+	var d *dataset.Dataset
+	if f, err := os.Open(path); err == nil {
+		d, err = dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Errorf("mpicollbench: corrupt cache %s: %v", path, err)
+			return 1
+		}
+		if rep := d.Quarantine(); len(rep.Bad) > 0 {
+			log.Infof("%s: quarantined %d bad cached rows", name, len(rep.Bad))
+			obs.Default.Counter("dataset_quarantined_rows_total",
+				obs.Labels{"dataset": name}).Add(int64(len(rep.Bad)))
+		}
+		log.Infof("%s: loaded %d samples from cache", name, len(d.Samples))
+	} else {
+		opts := dataset.DefaultGenOptions(spec, sc)
+		opts.Faults = plan
+		opts.OutlierRetries = retries
+		opts.OutlierK = outlierK
+
+		fresh := 0
+		stop := func() bool {
+			if interrupted.Load() {
+				return true
+			}
+			fresh++
+			return maxSamples > 0 && fresh > maxSamples
+		}
+		if err := os.MkdirAll(cache, 0o755); err != nil {
+			log.Errorf("mpicollbench: %v", err)
+			return 1
+		}
+		journal := dataset.JournalPath(path)
+		prog := obs.NewProgress(log, name)
+		d, err = dataset.GenerateResumable(spec, opts, journal, resume, stop, prog.Func())
+		if errors.Is(err, dataset.ErrInterrupted) {
+			prog.Finish()
+			log.Infof("%s: interrupted; progress saved to %s — rerun with -resume", name, journal)
+			return 130
+		}
+		if err != nil {
+			log.Errorf("mpicollbench: %v", err)
+			return 1
+		}
+		prog.Finish()
+		if err := d.WriteFile(path); err != nil {
+			log.Errorf("mpicollbench: saving %s: %v", path, err)
+			return 1
+		}
+		os.Remove(journal) // the cache now holds everything
+	}
+
+	fmt.Printf("%s: %d samples (%d budget-exhausted), %.1f simulated benchmark seconds, wall %v\n",
+		name, len(d.Samples), d.ExhaustedCount(), d.Consumed, time.Since(start).Round(time.Second))
+
+	if validate {
+		rep := d.Validate()
+		fmt.Printf("%s: validation: %s\n", name, rep)
+		if len(rep.Bad) > 0 {
+			return 3
+		}
+	}
+	return 0
+}
+
+// faultTag derives the cache-file tag for a fault plan: empty (the clean
+// cache) for a nil plan, otherwise a short stable hash of the spec so
+// distinct plans land in distinct cache files.
+func faultTag(plan *fault.Plan) string {
+	if plan == nil || len(plan.Faults) == 0 {
+		return ""
+	}
+	h := fnv.New32a()
+	h.Write([]byte(plan.String()))
+	return fmt.Sprintf("faults-%08x", h.Sum32())
 }

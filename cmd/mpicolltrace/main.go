@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"mpicollpred/internal/fault"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/netmodel"
@@ -29,20 +30,21 @@ import (
 
 func main() {
 	var (
-		machName = flag.String("machine", "Hydra", "machine profile (Table I)")
-		libName  = flag.String("lib", "Open MPI", "MPI library profile")
-		collName = flag.String("coll", mpilib.Bcast, "collective operation")
-		cfgID    = flag.Int("config", 0, "configuration id (0 = library default decision)")
-		nodes    = flag.Int("nodes", 8, "number of compute nodes")
-		ppn      = flag.Int("ppn", 4, "processes per node")
-		msize    = flag.Int64("msize", 65536, "message size in bytes")
-		out      = flag.String("o", "trace.json", "trace output file")
-		noise    = flag.Bool("noise", false, "enable network noise (default: deterministic)")
-		seed     = flag.Uint64("seed", 1, "noise seed")
-		metrics  = flag.String("metrics", "", "write a metrics-registry snapshot to this file")
-		list     = flag.Bool("list", false, "list the library's configurations for the collective and exit")
-		verbose  = flag.Bool("v", false, "verbose (debug) logging")
-		quiet    = flag.Bool("quiet", false, "suppress informational logging")
+		machName  = flag.String("machine", "Hydra", "machine profile (Table I)")
+		libName   = flag.String("lib", "Open MPI", "MPI library profile")
+		collName  = flag.String("coll", mpilib.Bcast, "collective operation")
+		cfgID     = flag.Int("config", 0, "configuration id (0 = library default decision)")
+		nodes     = flag.Int("nodes", 8, "number of compute nodes")
+		ppn       = flag.Int("ppn", 4, "processes per node")
+		msize     = flag.Int64("msize", 65536, "message size in bytes")
+		out       = flag.String("o", "trace.json", "trace output file")
+		noise     = flag.Bool("noise", false, "enable network noise (default: deterministic)")
+		faultSpec = flag.String("faults", "", "fault plan, e.g. 'straggler:node=0,factor=4' (see internal/fault)")
+		seed      = flag.Uint64("seed", 1, "noise seed")
+		metrics   = flag.String("metrics", "", "write a metrics-registry snapshot to this file")
+		list      = flag.Bool("list", false, "list the library's configurations for the collective and exit")
+		verbose   = flag.Bool("v", false, "verbose (debug) logging")
+		quiet     = flag.Bool("quiet", false, "suppress informational logging")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
@@ -78,8 +80,15 @@ func main() {
 	log.Infof("tracing %s %s on %s, %dx%d processes, %d bytes",
 		*libName, cfg.Label(), mach.Name, *nodes, *ppn, *msize)
 
+	plan, err := fault.Parse(*faultSpec)
+	fail(err)
+
 	tr := obs.NewTrace()
 	model := netmodel.New(mach.Net, topo, *seed, *noise)
+	if inj := plan.Injector(topo.Nodes); inj != nil {
+		model.SetFaults(inj)
+		log.Infof("fault plan active: %s", plan.String())
+	}
 	model.SetTracer(tr)
 	model.CollectStats(true)
 	eng := sim.NewEngine()

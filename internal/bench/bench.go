@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"mpicollpred/internal/fault"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/netmodel"
@@ -32,7 +33,26 @@ type Options struct {
 	// Metrics, when non-nil, receives per-measurement accounting
 	// (repetitions, consumed budget, exhaustion events).
 	Metrics *Metrics
+	// Faults, when non-nil, perturbs measurements: network faults are
+	// installed into the simulated fabric and clock-outlier faults inflate
+	// individual per-rank start offsets. Nil (the default) reproduces the
+	// fault-free timings bit-for-bit.
+	Faults *fault.Plan
+	// OutlierRetries is the re-measurement budget per configuration for
+	// repetitions flagged as outliers (deviating from the median by more
+	// than OutlierK normalized MADs). 0 (the default) disables outlier
+	// handling entirely, keeping measurements bit-identical to the
+	// pre-robustness harness.
+	OutlierRetries int
+	// OutlierK is the MAD multiple beyond which a repetition counts as an
+	// outlier; <= 0 selects DefaultOutlierK.
+	OutlierK float64
 }
+
+// DefaultOutlierK is the outlier threshold in normalized-MAD units used when
+// Options.OutlierK is unset. 5 flags only gross perturbations (stragglers,
+// clock outliers), not the regular lognormal noise tail.
+const DefaultOutlierK = 5
 
 // DefaultOptions mirrors the paper's ReproMPI configuration for the given
 // machine. The budget is looked up from the machine registry (Table I
@@ -54,6 +74,9 @@ type Measurement struct {
 	// Exhausted reports whether the time budget stopped the loop before
 	// MaxReps repetitions completed.
 	Exhausted bool
+	// Retried counts repetitions that were flagged as outliers and
+	// re-measured (see Options.OutlierRetries).
+	Retried int
 
 	// sorted caches an ascending copy of Times, populated once by the
 	// Runner so repeated quantile queries do not re-sort. Zero-value
@@ -84,11 +107,14 @@ func (m *Measurement) finalize() {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the repetition times with
 // linear interpolation between order statistics, so Quantile(0.5) equals the
-// textbook median for both odd and even repetition counts.
+// textbook median for both odd and even repetition counts. A measurement
+// with zero repetitions has no quantiles: the result is NaN (as for every
+// other summary statistic of an empty Measurement), never a fake 0 that a
+// selector could mistake for an infinitely fast configuration.
 func (m Measurement) Quantile(q float64) float64 {
 	s := m.sortedTimes()
 	if len(s) == 0 {
-		return 0
+		return math.NaN()
 	}
 	if q <= 0 {
 		return s[0]
@@ -114,10 +140,10 @@ func (m Measurement) P10() float64 { return m.Quantile(0.10) }
 // P90 returns the 90th-percentile repetition time.
 func (m Measurement) P90() float64 { return m.Quantile(0.90) }
 
-// Mean returns the arithmetic mean repetition time.
+// Mean returns the arithmetic mean repetition time (NaN for zero reps).
 func (m Measurement) Mean() float64 {
 	if len(m.Times) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, t := range m.Times {
@@ -126,10 +152,10 @@ func (m Measurement) Mean() float64 {
 	return sum / float64(len(m.Times))
 }
 
-// Min returns the fastest repetition.
+// Min returns the fastest repetition (NaN for zero reps).
 func (m Measurement) Min() float64 {
 	if len(m.Times) == 0 {
-		return 0
+		return math.NaN()
 	}
 	min := m.Times[0]
 	for _, t := range m.Times[1:] {
@@ -138,6 +164,87 @@ func (m Measurement) Min() float64 {
 		}
 	}
 	return min
+}
+
+// WinsorizedMean returns the mean after clamping the repetition times into
+// [Quantile(frac), Quantile(1-frac)] — an outlier-robust location estimate
+// that, unlike a trimmed mean, keeps the sample count. frac outside [0, 0.5)
+// is clamped; zero reps yield NaN.
+func (m Measurement) WinsorizedMean(frac float64) float64 {
+	s := m.sortedTimes()
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.5 - 1e-9
+	}
+	lo, hi := m.Quantile(frac), m.Quantile(1-frac)
+	sum := 0.0
+	for _, t := range s {
+		if t < lo {
+			t = lo
+		} else if t > hi {
+			t = hi
+		}
+		sum += t
+	}
+	return sum / float64(len(s))
+}
+
+// MAD returns the median absolute deviation from the median — the robust
+// spread estimate behind outlier flagging. Multiply by 1.4826 to estimate a
+// Gaussian standard deviation. Zero reps yield NaN.
+func (m Measurement) MAD() float64 {
+	s := m.sortedTimes()
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	med := m.Median()
+	dev := make([]float64, len(s))
+	for i, t := range s {
+		dev[i] = math.Abs(t - med)
+	}
+	sort.Float64s(dev)
+	d := Measurement{Times: dev, sorted: dev}
+	return d.Median()
+}
+
+// madNormal is the consistency constant relating MAD to the standard
+// deviation of a normal distribution.
+const madNormal = 1.4826
+
+// outlierIndices returns the repetition indices whose time deviates from the
+// median by more than k normalized MADs. A zero MAD (all reps identical)
+// flags nothing.
+func (m Measurement) outlierIndices(k float64) []int {
+	if len(m.Times) < 3 {
+		return nil
+	}
+	med := m.Median()
+	mad := m.MAD()
+	if !(mad > 0) {
+		return nil
+	}
+	thresh := k * madNormal * mad
+	var out []int
+	for i, t := range m.Times {
+		if math.Abs(t-med) > thresh {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Outliers returns how many repetitions deviate from the median by more than
+// k normalized MADs (k <= 0 selects DefaultOutlierK).
+func (m Measurement) Outliers(k float64) int {
+	if k <= 0 {
+		k = DefaultOutlierK
+	}
+	return len(m.outlierIndices(k))
 }
 
 // Runner executes measurements. It is not safe for concurrent use; create
@@ -182,32 +289,85 @@ func (r *Runner) MeasureCapped(cfg mpilib.Config, prm netmodel.Params, topo netm
 	r.start = r.start[:p]
 
 	var meas Measurement
+	inj := r.opts.Faults.Injector(topo.Nodes)
 	model := netmodel.New(prm, topo, seed, true)
+	model.SetFaults(inj)
 	for rep := 0; rep < maxReps; rep++ {
 		repSeed := sim.Seed(seed, uint64(rep)+1)
-		model.Reset(repSeed)
-		jrng := sim.NewRNG(sim.Seed(repSeed, 0xA11CE))
-		for i := range r.start {
-			j := jrng.Norm() * r.opts.SyncJitter
-			if j < 0 {
-				j = -j
-			}
-			r.start[i] = j
-		}
-		res, err := r.eng.Run(prog, model, r.start, nil)
+		t, err := r.runRep(prog, model, repSeed, rep, inj)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("bench %s topo=%dx%d m=%d: %w", cfg.Label(), topo.Nodes, topo.PPN, m, err)
 		}
-		meas.Times = append(meas.Times, res.Time)
-		meas.Consumed += res.Time
+		meas.Times = append(meas.Times, t)
+		meas.Consumed += t
 		if r.opts.MaxTime > 0 && meas.Consumed >= r.opts.MaxTime {
 			meas.Exhausted = len(meas.Times) < maxReps
 			break
 		}
 	}
 	meas.finalize()
+	if r.opts.OutlierRetries > 0 {
+		if err := r.retryOutliers(&meas, prog, model, seed, inj); err != nil {
+			return Measurement{}, fmt.Errorf("bench %s topo=%dx%d m=%d: %w", cfg.Label(), topo.Nodes, topo.PPN, m, err)
+		}
+	}
 	r.opts.Metrics.record(meas)
 	return meas, nil
+}
+
+// runRep executes one benchmark repetition: reset the model's noise stream
+// and resource state, draw the per-rank start offsets (clock-sync jitter
+// plus any injected clock outliers), and run the schedule.
+func (r *Runner) runRep(prog *sim.Program, model *netmodel.Model, repSeed uint64, rep int, inj *fault.Injector) (float64, error) {
+	model.Reset(repSeed)
+	jrng := sim.NewRNG(sim.Seed(repSeed, 0xA11CE))
+	for i := range r.start {
+		j := jrng.Norm() * r.opts.SyncJitter
+		if j < 0 {
+			j = -j
+		}
+		if inj != nil {
+			j += inj.StartOutlier(rep, i)
+		}
+		r.start[i] = j
+	}
+	res, err := r.eng.Run(prog, model, r.start, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// retryOutliers re-measures repetitions flagged as outliers, spending at
+// most the Options.OutlierRetries budget. A flagged repetition is re-run
+// once under a fresh seed and its time replaced with the re-measurement —
+// the simulated analogue of ReproMPI discarding and repeating perturbed
+// runs. The extra simulated time is charged to Consumed so the budget
+// accounting stays honest.
+func (r *Runner) retryOutliers(meas *Measurement, prog *sim.Program, model *netmodel.Model, seed uint64, inj *fault.Injector) error {
+	k := r.opts.OutlierK
+	if k <= 0 {
+		k = DefaultOutlierK
+	}
+	budget := r.opts.OutlierRetries
+	for _, idx := range meas.outlierIndices(k) {
+		if budget == 0 {
+			break
+		}
+		budget--
+		retrySeed := sim.Seed(seed, 0x5E7F, uint64(idx)+1)
+		t, err := r.runRep(prog, model, retrySeed, idx, inj)
+		if err != nil {
+			return err
+		}
+		meas.Times[idx] = t
+		meas.Consumed += t
+		meas.Retried++
+	}
+	if meas.Retried > 0 {
+		meas.finalize()
+	}
+	return nil
 }
 
 // Budget returns the worst-case simulated duration of measuring n

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mpicollpred/internal/fault"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/netmodel"
@@ -160,8 +161,46 @@ func TestMedianEvenOdd(t *testing.T) {
 	if m.Median() != 2.5 {
 		t.Errorf("even median = %v", m.Median())
 	}
-	if (Measurement{}).Median() != 0 || (Measurement{}).Mean() != 0 || (Measurement{}).Min() != 0 {
-		t.Error("empty measurement stats must be 0")
+}
+
+func TestZeroRepStatsAreNaN(t *testing.T) {
+	// A zero-repetition measurement has no statistics: every summary must
+	// be NaN, never a fake 0 that downstream code could read as "free".
+	var m Measurement
+	for name, v := range map[string]float64{
+		"Median":         m.Median(),
+		"Mean":           m.Mean(),
+		"Min":            m.Min(),
+		"Quantile(0.5)":  m.Quantile(0.5),
+		"P10":            m.P10(),
+		"P90":            m.P90(),
+		"WinsorizedMean": m.WinsorizedMean(0.1),
+		"MAD":            m.MAD(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty Measurement.%s = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestTinyBudgetStillRunsOneRep(t *testing.T) {
+	// Regression: a MaxTime so small that not even one repetition fits must
+	// still produce one measured repetition (marked exhausted), never a
+	// zero-rep measurement whose statistics are NaN.
+	cfg, net, topo := testSetup(t)
+	r := NewRunner(Options{MaxReps: 500, MaxTime: 1e-12, SyncJitter: 1e-7})
+	m, err := r.Measure(cfg, net, topo, 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps() != 1 {
+		t.Fatalf("reps = %d, want exactly 1 under a sub-rep budget", m.Reps())
+	}
+	if !m.Exhausted {
+		t.Error("sub-rep budget must mark the measurement exhausted")
+	}
+	if math.IsNaN(m.Median()) || m.Median() <= 0 {
+		t.Errorf("median = %v, want a positive measured time", m.Median())
 	}
 }
 
@@ -240,5 +279,146 @@ func TestMetricsRecorded(t *testing.T) {
 	r2 := NewRunner(Options{MaxReps: 2, SyncJitter: 1e-7})
 	if _, err := r2.Measure(cfg, net, topo, 1024, 3); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWinsorizedMeanAndMAD(t *testing.T) {
+	// One gross outlier among nine well-behaved reps.
+	m := Measurement{Times: []float64{1, 1.1, 0.9, 1.05, 0.95, 1, 1.02, 0.98, 100}}
+	if mean := m.Mean(); mean < 10 {
+		t.Fatalf("plain mean %v should be dominated by the outlier", mean)
+	}
+	wm := m.WinsorizedMean(0.2)
+	if wm < 0.8 || wm > 1.3 {
+		t.Errorf("winsorized mean %v should shrug off the outlier", wm)
+	}
+	if mad := m.MAD(); mad <= 0 || mad > 0.2 {
+		t.Errorf("MAD = %v, want a small positive spread", mad)
+	}
+	if n := m.Outliers(5); n != 1 {
+		t.Errorf("Outliers = %d, want 1", n)
+	}
+	// Identical reps: MAD 0, nothing flagged.
+	flat := Measurement{Times: []float64{2, 2, 2, 2}}
+	if n := flat.Outliers(5); n != 0 {
+		t.Errorf("flat measurement flagged %d outliers", n)
+	}
+	// Winsorizing fractions are clamped, not errors.
+	if v := m.WinsorizedMean(-1); math.IsNaN(v) {
+		t.Error("negative frac should clamp to 0")
+	}
+	if v := m.WinsorizedMean(0.9); math.IsNaN(v) {
+		t.Error("frac >= 0.5 should clamp below 0.5")
+	}
+}
+
+func TestFaultsPerturbDeterministically(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	plan, err := fault.Parse("straggler:node=0,factor=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := NewRunner(Options{MaxReps: 3, SyncJitter: 1e-7})
+	faulty1 := NewRunner(Options{MaxReps: 3, SyncJitter: 1e-7, Faults: plan})
+	faulty2 := NewRunner(Options{MaxReps: 3, SyncJitter: 1e-7, Faults: plan})
+	c, err := clean.Measure(cfg, net, topo, 65536, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := faulty1.Measure(cfg, net, topo, 65536, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := faulty2.Measure(cfg, net, topo, 65536, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Median() <= c.Median() {
+		t.Errorf("straggler should slow the collective: clean %v, faulty %v", c.Median(), f1.Median())
+	}
+	for i := range f1.Times {
+		if f1.Times[i] != f2.Times[i] {
+			t.Fatalf("fault injection is not deterministic: rep %d %v vs %v", i, f1.Times[i], f2.Times[i])
+		}
+	}
+	// A nil plan must reproduce the fault-free measurement bit for bit.
+	nilPlan := NewRunner(Options{MaxReps: 3, SyncJitter: 1e-7, Faults: nil})
+	n, err := nilPlan.Measure(cfg, net, topo, 65536, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Times {
+		if c.Times[i] != n.Times[i] {
+			t.Fatalf("nil fault plan changed rep %d: %v vs %v", i, c.Times[i], n.Times[i])
+		}
+	}
+}
+
+func TestClockOutlierFaultInflatesStart(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	// prob=1 makes every rank an outlier with a large offset: the makespan
+	// must absorb it.
+	plan, err := fault.Parse("clock:prob=1,scale=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := NewRunner(Options{MaxReps: 2, SyncJitter: 1e-7})
+	faulty := NewRunner(Options{MaxReps: 2, SyncJitter: 1e-7, Faults: plan})
+	c, err := clean.Measure(cfg, net, topo, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := faulty.Measure(cfg, net, topo, 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Median() < c.Median() {
+		t.Errorf("clock outliers should not speed things up: clean %v, faulty %v", c.Median(), f.Median())
+	}
+}
+
+func TestOutlierRetryRepairsMeasurement(t *testing.T) {
+	cfg, net, topo := testSetup(t)
+	// Rare huge clock outliers + retry budget: the retried measurement's
+	// median must not exceed the unrepaired one, and retries are counted.
+	plan, err := fault.Parse("clock:prob=0.1,scale=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := NewRunner(Options{MaxReps: 12, SyncJitter: 1e-7, Faults: plan})
+	m1, err := raw.Measure(cfg, net, topo, 1024, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Outliers(DefaultOutlierK) == 0 {
+		t.Skip("no outlier drawn for this seed; adjust test plan")
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, obs.Labels{"dataset": "retry-test"})
+	repaired := NewRunner(Options{MaxReps: 12, SyncJitter: 1e-7, Faults: plan,
+		OutlierRetries: 4, Metrics: met})
+	m2, err := repaired.Measure(cfg, net, topo, 1024, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Retried == 0 {
+		t.Fatal("expected at least one retried repetition")
+	}
+	if met.Retried.Value() != int64(m2.Retried) {
+		t.Errorf("metrics retried = %d, want %d", met.Retried.Value(), m2.Retried)
+	}
+	if m2.Quantile(0.9) > m1.Quantile(0.9) {
+		t.Errorf("retry made the tail worse: %v > %v", m2.Quantile(0.9), m1.Quantile(0.9))
+	}
+	// Without retries the measurement must be byte-identical to m1.
+	again := NewRunner(Options{MaxReps: 12, SyncJitter: 1e-7, Faults: plan})
+	m3, err := again.Measure(cfg, net, topo, 1024, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Times {
+		if m1.Times[i] != m3.Times[i] {
+			t.Fatal("retry-free measurements must be reproducible")
+		}
 	}
 }

@@ -17,6 +17,9 @@ type Metrics struct {
 	Exhausted *obs.Counter
 	// RepSeconds is the distribution of single-repetition makespans.
 	RepSeconds *obs.Histogram
+	// Retried counts outlier repetitions that were re-measured (see
+	// Options.OutlierRetries).
+	Retried *obs.Counter
 }
 
 // NewMetrics registers the benchmark metric series under the given labels.
@@ -31,6 +34,7 @@ func NewMetrics(r *obs.Registry, labels obs.Labels) *Metrics {
 		Consumed:     r.Gauge("bench_consumed_seconds", labels),
 		Exhausted:    r.Counter("bench_budget_exhausted_total", labels),
 		RepSeconds:   r.Histogram("bench_rep_seconds", labels),
+		Retried:      r.Counter("bench_outlier_retries_total", labels),
 	}
 }
 
@@ -45,6 +49,9 @@ func (m *Metrics) record(meas Measurement) {
 	m.Consumed.Add(meas.Consumed)
 	if meas.Exhausted {
 		m.Exhausted.Inc()
+	}
+	if meas.Retried > 0 {
+		m.Retried.Add(int64(meas.Retried))
 	}
 	for _, t := range meas.Times {
 		m.RepSeconds.Observe(t)

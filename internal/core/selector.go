@@ -12,12 +12,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
 	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/machine"
 	"mpicollpred/internal/ml"
 	"mpicollpred/internal/mpilib"
 	"mpicollpred/internal/obs"
@@ -42,7 +44,13 @@ type Prediction struct {
 	ConfigID  int
 	AlgID     int
 	Label     string
-	Predicted float64 // seconds
+	Predicted float64 // seconds; NaN when the guardrails fell back
+	// Fallback reports that the guardrails rejected the models' answer and
+	// this prediction came from the library's default decision logic.
+	Fallback bool
+	// FallbackReason is "extrapolation", "implausible" or "no_model" when
+	// Fallback is set.
+	FallbackReason string
 }
 
 // Selector is a trained algorithm selection model for one collective on one
@@ -55,10 +63,20 @@ type Selector struct {
 	// FitWall is the total wall-clock time spent fitting the
 	// per-configuration regression models, in seconds.
 	FitWall float64
+	// PlausibilitySlack overrides DefaultPlausibilitySlack when > 1.
+	PlausibilitySlack float64
 
 	configs    []mpilib.Config
 	models     map[int]ml.Regressor
 	selectHist *obs.Histogram
+
+	// Guardrail state (see guardrails.go).
+	envelopes   map[int]Envelope
+	envelope    Envelope
+	quarantined map[int]string
+	fallbacks   int
+	fbMach      machine.Machine
+	fbSet       *mpilib.CollectiveSet
 }
 
 // Train fits one regression model per selectable configuration using the
@@ -78,6 +96,7 @@ func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, train
 		Learner:    learner,
 		TrainNodes: append([]int(nil), trainNodes...),
 		models:     make(map[int]ml.Regressor),
+		envelopes:  make(map[int]Envelope),
 		configs:    set.Selectable(),
 	}
 
@@ -105,13 +124,23 @@ func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, train
 			return nil, err
 		}
 		t0 := time.Now()
-		if err := m.Fit(x, y); err != nil {
+		if err := safeFit(m, x, y); err != nil {
+			if errors.Is(err, errLearnerPanic) {
+				// One broken learner instance must not take down the whole
+				// tuning run: the configuration is quarantined (never
+				// selected) and training continues.
+				sel.quarantine(cfg.ID, "fit", err.Error())
+				continue
+			}
 			return nil, fmt.Errorf("core: fitting %s for config %d (%s): %w", learner, cfg.ID, cfg.Label(), err)
 		}
 		wall := time.Since(t0).Seconds()
 		sel.FitWall += wall
 		fitHist.Observe(wall)
 		sel.models[cfg.ID] = m
+		env := newEnvelope(x, y)
+		sel.envelopes[cfg.ID] = env
+		sel.envelope.merge(env)
 	}
 	return sel, nil
 }
@@ -123,14 +152,19 @@ func (s *Selector) PredictAll(nodes, ppn int, msize int64) []Prediction {
 }
 
 // PredictAllFeatures is PredictAll on an explicit feature vector.
+// Quarantined configurations predict +Inf so they sort last and never win.
 func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 	out := make([]Prediction, 0, len(s.configs))
 	for _, cfg := range s.configs {
+		t := s.safePredict(cfg.ID, f)
+		if _, ok := s.models[cfg.ID]; !ok {
+			t = math.Inf(1)
+		}
 		out = append(out, Prediction{
 			ConfigID:  cfg.ID,
 			AlgID:     cfg.AlgID,
 			Label:     cfg.Label(),
-			Predicted: s.models[cfg.ID].Predict(f),
+			Predicted: t,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Predicted < out[j].Predicted })
@@ -138,13 +172,35 @@ func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 }
 
 // Select returns the configuration with the smallest predicted running time
-// for the instance — the ArgMin box of the paper's Fig. 3.
+// for the instance — the ArgMin box of the paper's Fig. 3. When a fallback
+// is installed (SetFallback), the guardrails vet the answer first: a query
+// outside every model's training envelope, an implausible winning
+// prediction, or a selector with no healthy models left is answered by the
+// library's default decision logic instead. In-envelope queries with
+// plausible predictions are untouched — they return exactly what an
+// unguarded selector would.
 func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
-	return s.SelectFeatures(Features(nodes, ppn, msize))
+	f := Features(nodes, ppn, msize)
+	if !s.guarded() {
+		return s.SelectFeatures(f)
+	}
+	if !s.envelope.Contains(f) {
+		return s.fallback(nodes, ppn, msize, "extrapolation")
+	}
+	best := s.SelectFeatures(f)
+	if best.ConfigID == 0 {
+		return s.fallback(nodes, ppn, msize, "no_model")
+	}
+	if env, ok := s.envelopes[best.ConfigID]; ok && !env.Plausible(best.Predicted, s.PlausibilitySlack) {
+		return s.fallback(nodes, ppn, msize, "implausible")
+	}
+	return best
 }
 
 // SelectFeatures is Select on an explicit feature vector (used by the
-// permutation-importance analysis, which tampers with single features).
+// permutation-importance analysis, which tampers with single features). It
+// is the raw argmin — guardrails do not apply here, only panic safety:
+// quarantined or panicking models are skipped.
 func (s *Selector) SelectFeatures(f []float64) Prediction {
 	if s.selectHist != nil {
 		t0 := time.Now()
@@ -153,7 +209,7 @@ func (s *Selector) SelectFeatures(f []float64) Prediction {
 	var best Prediction
 	first := true
 	for _, cfg := range s.configs {
-		t := s.models[cfg.ID].Predict(f)
+		t := s.safePredict(cfg.ID, f)
 		if math.IsNaN(t) {
 			continue
 		}

@@ -4,12 +4,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 
 	"mpicollpred/internal/bench"
+	"mpicollpred/internal/obs"
 )
 
 // csvHeader is the on-disk column layout (v2). v1 files lack the last two
@@ -33,16 +35,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	}
 	row := make([]string, len(csvHeader))
 	for _, s := range d.Samples {
-		row[0] = strconv.Itoa(s.ConfigID)
-		row[1] = strconv.Itoa(s.AlgID)
-		row[2] = strconv.Itoa(s.Nodes)
-		row[3] = strconv.Itoa(s.PPN)
-		row[4] = strconv.FormatInt(s.Msize, 10)
-		row[5] = strconv.FormatFloat(s.Time, 'g', -1, 64)
-		row[6] = strconv.Itoa(s.Reps)
-		row[7] = strconv.FormatFloat(s.Consumed, 'g', -1, 64)
-		row[8] = strconv.FormatBool(s.Exhausted)
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(s.appendFields(row[:0])); err != nil {
 			return err
 		}
 	}
@@ -50,73 +43,117 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// appendFields renders the sample as its v2 column values.
+func (s Sample) appendFields(row []string) []string {
+	return append(row,
+		strconv.Itoa(s.ConfigID),
+		strconv.Itoa(s.AlgID),
+		strconv.Itoa(s.Nodes),
+		strconv.Itoa(s.PPN),
+		strconv.FormatInt(s.Msize, 10),
+		strconv.FormatFloat(s.Time, 'g', -1, 64),
+		strconv.Itoa(s.Reps),
+		strconv.FormatFloat(s.Consumed, 'g', -1, 64),
+		strconv.FormatBool(s.Exhausted),
+	)
+}
+
+// parseSample decodes one data row (v2 or legacy v1 layout) with descriptive
+// per-column errors.
+func parseSample(rec []string) (Sample, error) {
+	if len(rec) != len(csvHeader) && len(rec) != csvLegacyCols {
+		return Sample{}, fmt.Errorf("%d columns, want %d (or %d legacy)", len(rec), len(csvHeader), csvLegacyCols)
+	}
+	var s Sample
+	var err error
+	if s.ConfigID, err = strconv.Atoi(rec[0]); err != nil {
+		return s, fmt.Errorf("bad config_id %q", rec[0])
+	}
+	if s.AlgID, err = strconv.Atoi(rec[1]); err != nil {
+		return s, fmt.Errorf("bad alg_id %q", rec[1])
+	}
+	if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
+		return s, fmt.Errorf("bad nodes %q", rec[2])
+	}
+	if s.PPN, err = strconv.Atoi(rec[3]); err != nil {
+		return s, fmt.Errorf("bad ppn %q", rec[3])
+	}
+	if s.Msize, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
+		return s, fmt.Errorf("bad msize %q", rec[4])
+	}
+	if s.Time, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return s, fmt.Errorf("bad time_s %q", rec[5])
+	}
+	if s.Reps, err = strconv.Atoi(rec[6]); err != nil {
+		return s, fmt.Errorf("bad reps %q", rec[6])
+	}
+	if len(rec) >= len(csvHeader) {
+		if s.Consumed, err = strconv.ParseFloat(rec[7], 64); err != nil {
+			return s, fmt.Errorf("bad consumed_s %q", rec[7])
+		}
+		if s.Exhausted, err = strconv.ParseBool(rec[8]); err != nil {
+			return s, fmt.Errorf("bad exhausted %q", rec[8])
+		}
+	} else {
+		// v1 rows carry no per-sample accounting; the repetition sum
+		// approximates what the measurement consumed.
+		s.Consumed = s.Time * float64(s.Reps)
+	}
+	return s, nil
+}
+
 // ReadCSV deserializes a dataset written by WriteCSV. The spec grids
-// (Nodes/PPNs/Msizes) are reconstructed from the samples.
+// (Nodes/PPNs/Msizes) are reconstructed from the samples. Malformed input —
+// an empty file, wrong column counts, non-numeric fields — yields a
+// descriptive error naming the offending line, never a panic or a silently
+// empty dataset.
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	line := 1
 	meta, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("dataset: empty file (no meta row)")
+	}
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading meta row: %w", err)
+		return nil, fmt.Errorf("dataset: line %d: reading meta row: %w", line, err)
 	}
 	if len(meta) < 7 || meta[0] != "#meta" {
-		return nil, fmt.Errorf("dataset: malformed meta row %v", meta)
+		return nil, fmt.Errorf("dataset: line %d: malformed meta row %v", line, meta)
 	}
 	d := &Dataset{Spec: Spec{Name: meta[1], Lib: meta[2], Version: meta[3], Coll: meta[4], Machine: meta[5]}}
 	if d.Consumed, err = strconv.ParseFloat(meta[6], 64); err != nil {
-		return nil, fmt.Errorf("dataset: bad consumed field: %w", err)
+		return nil, fmt.Errorf("dataset: line %d: bad consumed field %q", line, meta[6])
 	}
+	if math.IsNaN(d.Consumed) || d.Consumed < 0 {
+		return nil, fmt.Errorf("dataset: line %d: consumed budget %v out of range", line, d.Consumed)
+	}
+	line++
 	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("dataset: truncated file (no header row)")
+	}
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading header: %w", err)
+		return nil, fmt.Errorf("dataset: line %d: reading header: %w", line, err)
 	}
 	if len(header) != len(csvHeader) && len(header) != csvLegacyCols {
-		return nil, fmt.Errorf("dataset: unexpected header %v", header)
+		return nil, fmt.Errorf("dataset: line %d: unexpected header %v", line, header)
 	}
 	nodesSet := map[int]bool{}
 	ppnSet := map[int]bool{}
 	msizeSet := map[int64]bool{}
 	for {
+		line++
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 		}
-		var s Sample
-		if s.ConfigID, err = strconv.Atoi(rec[0]); err != nil {
-			return nil, fmt.Errorf("dataset: bad config_id %q: %w", rec[0], err)
-		}
-		if s.AlgID, err = strconv.Atoi(rec[1]); err != nil {
-			return nil, err
-		}
-		if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
-			return nil, err
-		}
-		if s.PPN, err = strconv.Atoi(rec[3]); err != nil {
-			return nil, err
-		}
-		if s.Msize, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
-			return nil, err
-		}
-		if s.Time, err = strconv.ParseFloat(rec[5], 64); err != nil {
-			return nil, err
-		}
-		if s.Reps, err = strconv.Atoi(rec[6]); err != nil {
-			return nil, err
-		}
-		if len(rec) >= len(csvHeader) {
-			if s.Consumed, err = strconv.ParseFloat(rec[7], 64); err != nil {
-				return nil, err
-			}
-			if s.Exhausted, err = strconv.ParseBool(rec[8]); err != nil {
-				return nil, err
-			}
-		} else {
-			// v1 rows carry no per-sample accounting; the repetition sum
-			// approximates what the measurement consumed.
-			s.Consumed = s.Time * float64(s.Reps)
+		s, err := parseSample(rec)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 		}
 		d.Samples = append(d.Samples, s)
 		nodesSet[s.Nodes] = true
@@ -130,26 +167,47 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
-// Save writes the dataset to dir/<name>-<scale>.csv.
-func (d *Dataset) Save(dir string, scale Scale) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	path := cachePath(dir, d.Spec.Name, scale)
-	f, err := os.Create(path)
+// WriteFile writes the dataset to path atomically: the CSV is serialized to
+// path+".tmp" and renamed into place, so an interrupted or crashed run can
+// never leave a torn file behind — the cache either holds the previous
+// complete dataset or the new one.
+func (d *Dataset) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := d.WriteCSV(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Save writes the dataset to dir/<name>-<scale>.csv (atomically; see
+// WriteFile).
+func (d *Dataset) Save(dir string, scale Scale) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return d.WriteFile(cachePath(dir, d.Spec.Name, scale))
 }
 
 // LoadOrGenerate returns the cached dataset if dir holds one for (name,
 // scale); otherwise it generates the dataset with the machine's default
-// ReproMPI-style options and caches it.
+// ReproMPI-style options and caches it. Cached files are validated on load:
+// malformed rows are quarantined (dropped and counted in the
+// dataset_quarantined_rows_total metric) rather than poisoning training.
 func LoadOrGenerate(dir, name string, scale Scale, progress func(done, total int)) (*Dataset, error) {
 	spec, err := SpecByName(name, scale)
 	if err != nil {
@@ -162,11 +220,13 @@ func LoadOrGenerate(dir, name string, scale Scale, progress func(done, total int
 		if err != nil {
 			return nil, fmt.Errorf("dataset: corrupt cache %s: %w", path, err)
 		}
+		if rep := d.Quarantine(); len(rep.Bad) > 0 {
+			obs.Default.Counter("dataset_quarantined_rows_total",
+				obs.Labels{"dataset": name}).Add(int64(len(rep.Bad)))
+		}
 		return d, nil
 	}
-	opts := bench.DefaultOptions(spec.Machine)
-	opts.MaxReps = repsForScale(scale)
-	d, err := Generate(spec, opts, progress)
+	d, err := Generate(spec, DefaultGenOptions(spec, scale), progress)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +234,16 @@ func LoadOrGenerate(dir, name string, scale Scale, progress func(done, total int
 		return nil, err
 	}
 	return d, nil
+}
+
+// DefaultGenOptions returns the benchmark options LoadOrGenerate uses for a
+// spec at a scale: the machine's ReproMPI budget with the scale-appropriate
+// repetition cap. CLI front-ends start from this and layer on fault plans or
+// outlier handling.
+func DefaultGenOptions(spec Spec, scale Scale) bench.Options {
+	opts := bench.DefaultOptions(spec.Machine)
+	opts.MaxReps = repsForScale(scale)
+	return opts
 }
 
 // repsForScale bounds the repetition count by scale: the paper's cap of 500
@@ -193,6 +263,17 @@ func repsForScale(scale Scale) int {
 
 func cachePath(dir, name string, scale Scale) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-%s.csv", name, scale))
+}
+
+// CachePath returns the cache file a (name, scale) dataset is stored under
+// in dir. tag distinguishes perturbed variants (e.g. fault-injected runs)
+// so they never collide with the clean cache; an empty tag is the default
+// cache file.
+func CachePath(dir, name string, scale Scale, tag string) string {
+	if tag == "" {
+		return cachePath(dir, name, scale)
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%s-%s.csv", name, scale, tag))
 }
 
 func sortedInts(set map[int]bool) []int {

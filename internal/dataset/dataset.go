@@ -165,6 +165,36 @@ func (s Spec) Resolve() (machine.Machine, *mpilib.CollectiveSet, error) {
 // measurement loop; progress (optional) is called after each completed
 // instance grid cell with (done, total) counts.
 func Generate(spec Spec, opts bench.Options, progress func(done, total int)) (*Dataset, error) {
+	return generate(spec, opts, progress, genControl{})
+}
+
+// genControl hooks the measurement loop for checkpoint/resume. The zero value
+// is a plain uncontrolled run.
+type genControl struct {
+	// recorded holds samples measured by an earlier, interrupted run; the
+	// loop replays them in grid order instead of re-measuring.
+	recorded map[sampleKey]Sample
+	// record, when non-nil, is called after every fresh measurement —
+	// typically a journal append.
+	record func(Sample) error
+	// stop, when non-nil, is polled between measurements; returning true
+	// aborts the run with ErrInterrupted.
+	stop func() bool
+	// reused, when non-nil, receives the count of replayed samples.
+	reused *int
+}
+
+// sampleKey identifies one measurement in the grid.
+type sampleKey struct {
+	cfg, nodes, ppn int
+	msize           int64
+}
+
+// generate is the measurement loop shared by Generate and GenerateResumable.
+// Because every sample's noise seed depends only on (dataset, config,
+// instance) — never on loop order — replayed and freshly measured samples
+// compose into a dataset bit-identical to an uninterrupted run.
+func generate(spec Spec, opts bench.Options, progress func(done, total int), ctl genControl) (*Dataset, error) {
 	mach, set, err := spec.Resolve()
 	if err != nil {
 		return nil, err
@@ -188,18 +218,36 @@ func Generate(spec Spec, opts bench.Options, progress func(done, total int)) (*D
 			for _, m := range spec.Msizes {
 				reps := adaptReps(opts.MaxReps, spec.Coll, topo.P(), m)
 				for _, cfg := range set.Configs {
+					if s, ok := ctl.recorded[sampleKey{cfg.ID, n, ppn, m}]; ok {
+						ds.Samples = append(ds.Samples, s)
+						ds.Consumed += s.Consumed
+						if ctl.reused != nil {
+							*ctl.reused++
+						}
+						done++
+						continue
+					}
+					if ctl.stop != nil && ctl.stop() {
+						return nil, ErrInterrupted
+					}
 					seed := sim.Seed(nameSeed(spec.Name),
 						uint64(cfg.ID), uint64(n), uint64(ppn), uint64(m))
 					meas, err := runner.MeasureCapped(cfg, mach.Net, topo, m, seed, reps)
 					if err != nil {
 						return nil, fmt.Errorf("dataset %s: %w", spec.Name, err)
 					}
-					ds.Samples = append(ds.Samples, Sample{
+					s := Sample{
 						ConfigID: cfg.ID, AlgID: cfg.AlgID,
 						Nodes: n, PPN: ppn, Msize: m,
 						Time: meas.Median(), Reps: meas.Reps(),
 						Consumed: meas.Consumed, Exhausted: meas.Exhausted,
-					})
+					}
+					if ctl.record != nil {
+						if err := ctl.record(s); err != nil {
+							return nil, fmt.Errorf("dataset %s: journal: %w", spec.Name, err)
+						}
+					}
+					ds.Samples = append(ds.Samples, s)
 					ds.Consumed += meas.Consumed
 					done++
 				}

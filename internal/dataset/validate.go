@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RowIssue describes one sample that failed validation.
+type RowIssue struct {
+	// Index is the sample's position in Dataset.Samples.
+	Index  int
+	Sample Sample
+	Reason string
+}
+
+// Report is the outcome of Validate: which rows are unusable and why, plus
+// grid cells the dataset should cover but doesn't.
+type Report struct {
+	// Bad lists rows that must not reach training: non-finite or
+	// non-positive times, impossible topology fields, duplicate keys.
+	Bad []RowIssue
+	// MissingCells counts (config, nodes, ppn, msize) grid cells with no
+	// sample at all — coverage holes a partial or truncated cache leaves
+	// behind.
+	MissingCells int
+	// Total is the number of samples inspected.
+	Total int
+}
+
+// Clean reports whether the dataset passed every check.
+func (r Report) Clean() bool { return len(r.Bad) == 0 && r.MissingCells == 0 }
+
+// String summarizes the report for logs and quarantine files.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d samples, %d bad, %d missing grid cells", r.Total, len(r.Bad), r.MissingCells)
+	for _, is := range r.Bad {
+		s := is.Sample
+		fmt.Fprintf(&b, "\n  row %d (cfg=%d n=%d ppn=%d m=%d): %s",
+			is.Index, s.ConfigID, s.Nodes, s.PPN, s.Msize, is.Reason)
+	}
+	return b.String()
+}
+
+// checkSample returns the reason a sample is unusable, or "".
+func checkSample(s Sample) string {
+	switch {
+	case math.IsNaN(s.Time) || math.IsInf(s.Time, 0):
+		return fmt.Sprintf("non-finite time %v", s.Time)
+	case s.Time <= 0:
+		return fmt.Sprintf("non-positive time %v", s.Time)
+	case s.Reps < 1:
+		return fmt.Sprintf("reps %d < 1", s.Reps)
+	case s.Nodes < 1 || s.PPN < 1:
+		return fmt.Sprintf("impossible allocation %dx%d", s.Nodes, s.PPN)
+	case s.Msize < 1:
+		return fmt.Sprintf("message size %d < 1", s.Msize)
+	case s.ConfigID < 1:
+		return fmt.Sprintf("config id %d < 1", s.ConfigID)
+	case math.IsNaN(s.Consumed) || s.Consumed < 0:
+		return fmt.Sprintf("negative consumed budget %v", s.Consumed)
+	}
+	return ""
+}
+
+// Validate checks every sample for values that would poison training — NaN,
+// infinite, zero or negative times, impossible topology fields, duplicate
+// (config, instance) keys — and measures grid coverage against the spec's
+// full configuration × instance grid.
+func (d *Dataset) Validate() Report {
+	rep := Report{Total: len(d.Samples)}
+	seen := make(map[sampleKey]bool, len(d.Samples))
+	cfgSet := map[int]bool{}
+	for i, s := range d.Samples {
+		if reason := checkSample(s); reason != "" {
+			rep.Bad = append(rep.Bad, RowIssue{Index: i, Sample: s, Reason: reason})
+			continue
+		}
+		key := sampleKey{s.ConfigID, s.Nodes, s.PPN, s.Msize}
+		if seen[key] {
+			rep.Bad = append(rep.Bad, RowIssue{Index: i, Sample: s, Reason: "duplicate (config, instance) key"})
+			continue
+		}
+		seen[key] = true
+		cfgSet[s.ConfigID] = true
+	}
+	// Coverage: every known configuration should have a sample in every grid
+	// cell of the spec.
+	cfgs := make([]int, 0, len(cfgSet))
+	for id := range cfgSet {
+		cfgs = append(cfgs, id)
+	}
+	sort.Ints(cfgs)
+	for _, id := range cfgs {
+		for _, n := range d.Spec.Nodes {
+			for _, ppn := range d.Spec.PPNs {
+				for _, m := range d.Spec.Msizes {
+					if !seen[sampleKey{id, n, ppn, m}] {
+						rep.MissingCells++
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Quarantine drops every sample Validate flags as bad, rebuilds the lookup
+// index, and returns the report describing what was removed. Coverage holes
+// are reported but cannot be repaired here — regenerate the dataset (or
+// resume its journal) to fill them.
+func (d *Dataset) Quarantine() Report {
+	rep := d.Validate()
+	if len(rep.Bad) == 0 {
+		return rep
+	}
+	drop := make(map[int]bool, len(rep.Bad))
+	for _, is := range rep.Bad {
+		drop[is.Index] = true
+	}
+	kept := d.Samples[:0]
+	for i, s := range d.Samples {
+		if !drop[i] {
+			kept = append(kept, s)
+		}
+	}
+	d.Samples = kept
+	d.buildIndex()
+	return rep
+}

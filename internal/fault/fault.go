@@ -1,0 +1,382 @@
+// Package fault provides deterministic, seeded fault plans for the simulated
+// fabric: the perturbations a production cluster inflicts on a tuning run.
+// A Plan is a declarative list of faults (straggler nodes, degraded or
+// flapping NICs, noise bursts, clock-synchronization outliers) parsed from a
+// compact spec string (the CLIs' -faults flag). A Plan is compiled into an
+// Injector, the cheap per-run view that internal/netmodel and internal/bench
+// query on their hot paths behind nil-by-default seams — with no plan
+// installed, neither package pays more than a nil check and simulated results
+// are bit-identical to a fault-free build.
+//
+// All faults are deterministic: the same plan, seed, and workload reproduce
+// the same perturbed timings, which is what makes robustness experiments and
+// their regression tests possible.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpicollpred/internal/sim"
+)
+
+// Kind enumerates the fault types of a plan.
+type Kind string
+
+const (
+	// Straggler multiplies the cost of every message entering or leaving
+	// one node (or all nodes), modelling an overloaded/thermally-throttled
+	// host whose communication progress is slow.
+	Straggler Kind = "straggler"
+	// DegradedNIC multiplies the NIC serialization cost (injection/ejection
+	// bandwidth) of one node. With a flap period it alternates between
+	// degraded and healthy phases, modelling a link renegotiating its rate.
+	DegradedNIC Kind = "nic"
+	// NoiseBurst raises the multiplicative per-message noise sigma, either
+	// for the whole run or inside a simulated-time window.
+	NoiseBurst Kind = "noise"
+	// ClockOutlier makes the per-rank start-time synchronization residual
+	// occasionally blow up: with probability Prob a rank's start offset in a
+	// benchmark repetition is inflated to Scale seconds, modelling the
+	// clock-sync outliers ReproMPI guards against on real clusters.
+	ClockOutlier Kind = "clock"
+)
+
+// Fault is one perturbation of a Plan. Which fields are meaningful depends
+// on Kind; zero values select the documented defaults.
+type Fault struct {
+	Kind Kind
+
+	// Node targets one node id (Straggler, DegradedNIC); -1 targets all.
+	Node int
+	// Factor is the multiplicative slowdown (Straggler, DegradedNIC); must
+	// be >= 1.
+	Factor float64
+	// Period (seconds of simulated time) makes a DegradedNIC flap: the NIC
+	// is degraded for Duty*Period of every Period, healthy otherwise.
+	// 0 means constantly degraded.
+	Period float64
+	// Duty is the degraded fraction of a flap period (default 0.5).
+	Duty float64
+
+	// Sigma is the extra noise added to the model sigma (NoiseBurst).
+	Sigma float64
+	// Start/Duration bound a NoiseBurst in simulated time; Duration <= 0
+	// means the burst covers the whole run.
+	Start, Duration float64
+
+	// Prob is the per-(repetition, rank) outlier probability (ClockOutlier).
+	Prob float64
+	// Scale is the outlier start-offset magnitude in seconds (ClockOutlier).
+	Scale float64
+}
+
+// Plan is a reproducible set of faults. Seed keys every stochastic decision
+// the plan makes (currently only clock-outlier draws); deterministic faults
+// ignore it.
+type Plan struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// String renders the plan in the spec grammar accepted by Parse.
+func (p *Plan) String() string {
+	if p == nil || len(p.Faults) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Faults))
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case Straggler:
+			parts = append(parts, fmt.Sprintf("straggler:node=%d,factor=%g", f.Node, f.Factor))
+		case DegradedNIC:
+			s := fmt.Sprintf("nic:node=%d,factor=%g", f.Node, f.Factor)
+			if f.Period > 0 {
+				s += fmt.Sprintf(",period=%g,duty=%g", f.Period, f.Duty)
+			}
+			parts = append(parts, s)
+		case NoiseBurst:
+			s := fmt.Sprintf("noise:sigma=%g", f.Sigma)
+			if f.Duration > 0 {
+				s += fmt.Sprintf(",start=%g,dur=%g", f.Start, f.Duration)
+			}
+			parts = append(parts, s)
+		case ClockOutlier:
+			parts = append(parts, fmt.Sprintf("clock:prob=%g,scale=%g", f.Prob, f.Scale))
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a Plan from a spec string: semicolon-separated clauses of the
+// form kind:key=value,key=value. An empty spec yields a nil plan (no faults).
+//
+//	straggler:node=0,factor=4
+//	nic:node=1,factor=8,period=2e-3,duty=0.5
+//	noise:sigma=0.3,start=0,dur=1e-3
+//	clock:prob=0.05,scale=5e-5
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, argstr, _ := strings.Cut(clause, ":")
+		args, err := parseArgs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		f, err := buildFault(Kind(strings.TrimSpace(kind)), args)
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if len(p.Faults) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func parseArgs(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("argument %q is not key=value", kv)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("argument %q: %v", kv, err)
+		}
+		out[strings.TrimSpace(k)] = x
+	}
+	return out, nil
+}
+
+func buildFault(kind Kind, args map[string]float64) (Fault, error) {
+	get := func(key string, def float64) float64 {
+		if v, ok := args[key]; ok {
+			delete(args, key)
+			return v
+		}
+		return def
+	}
+	f := Fault{Kind: kind}
+	switch kind {
+	case Straggler:
+		f.Node = int(get("node", -1))
+		f.Factor = get("factor", 2)
+		if f.Factor < 1 {
+			return f, fmt.Errorf("straggler factor %g < 1", f.Factor)
+		}
+	case DegradedNIC:
+		f.Node = int(get("node", -1))
+		f.Factor = get("factor", 4)
+		f.Period = get("period", 0)
+		f.Duty = get("duty", 0.5)
+		if f.Factor < 1 {
+			return f, fmt.Errorf("nic factor %g < 1", f.Factor)
+		}
+		if f.Duty <= 0 || f.Duty > 1 {
+			return f, fmt.Errorf("nic duty %g outside (0,1]", f.Duty)
+		}
+	case NoiseBurst:
+		f.Sigma = get("sigma", 0.2)
+		f.Start = get("start", 0)
+		f.Duration = get("dur", 0)
+		if f.Sigma < 0 {
+			return f, fmt.Errorf("noise sigma %g < 0", f.Sigma)
+		}
+	case ClockOutlier:
+		f.Prob = get("prob", 0.05)
+		f.Scale = get("scale", 5e-5)
+		if f.Prob < 0 || f.Prob > 1 {
+			return f, fmt.Errorf("clock prob %g outside [0,1]", f.Prob)
+		}
+	default:
+		return f, fmt.Errorf("unknown fault kind %q (want straggler, nic, noise, clock)", kind)
+	}
+	if len(args) > 0 {
+		keys := make([]string, 0, len(args))
+		for k := range args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return f, fmt.Errorf("unknown arguments %v for kind %q", keys, kind)
+	}
+	return f, nil
+}
+
+// Injector is the compiled, per-topology view of a Plan that the network
+// model and benchmark harness query per message / per repetition. It is
+// immutable after compilation and safe for concurrent readers.
+type Injector struct {
+	seed uint64
+
+	// Per-node multiplicative slowdowns, indexed by node id; nodes beyond
+	// the compiled range are healthy. allNodeFactor/allNicFactor apply the
+	// node=-1 ("every node") faults.
+	nodeFactor    []float64
+	nicFactor     []float64
+	nicPeriod     []float64
+	nicDuty       []float64
+	allNodeFactor float64
+	allNicFactor  float64
+	allNicPeriod  float64
+	allNicDuty    float64
+
+	extraSigma           float64
+	burstStart, burstEnd float64 // burstEnd = +Inf for unbounded bursts
+
+	clockProb, clockScale float64
+}
+
+// Injector compiles the plan for a run on at most nodes nodes. A nil plan
+// (or one with no faults) compiles to a nil Injector, the disabled seam.
+func (p *Plan) Injector(nodes int) *Injector {
+	if p == nil || len(p.Faults) == 0 {
+		return nil
+	}
+	inj := &Injector{
+		seed:          p.Seed,
+		allNodeFactor: 1,
+		allNicFactor:  1,
+		burstEnd:      math.Inf(1),
+	}
+	grow := func() {
+		if inj.nodeFactor == nil {
+			inj.nodeFactor = fill(nodes, 1)
+			inj.nicFactor = fill(nodes, 1)
+			inj.nicPeriod = fill(nodes, 0)
+			inj.nicDuty = fill(nodes, 0)
+		}
+	}
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case Straggler:
+			if f.Node < 0 {
+				inj.allNodeFactor *= f.Factor
+				continue
+			}
+			grow()
+			if f.Node < len(inj.nodeFactor) {
+				inj.nodeFactor[f.Node] *= f.Factor
+			}
+		case DegradedNIC:
+			if f.Node < 0 {
+				inj.allNicFactor *= f.Factor
+				inj.allNicPeriod = f.Period
+				inj.allNicDuty = f.Duty
+				continue
+			}
+			grow()
+			if f.Node < len(inj.nicFactor) {
+				inj.nicFactor[f.Node] *= f.Factor
+				inj.nicPeriod[f.Node] = f.Period
+				inj.nicDuty[f.Node] = f.Duty
+			}
+		case NoiseBurst:
+			inj.extraSigma += f.Sigma
+			inj.burstStart = f.Start
+			if f.Duration > 0 {
+				inj.burstEnd = f.Start + f.Duration
+			} else {
+				inj.burstEnd = math.Inf(1)
+			}
+		case ClockOutlier:
+			inj.clockProb = f.Prob
+			inj.clockScale = f.Scale
+		}
+	}
+	return inj
+}
+
+func fill(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// NodeFactor returns the straggler slowdown of a node (1 = healthy). The
+// network model multiplies the cost of every message entering or leaving the
+// node by this factor.
+func (inj *Injector) NodeFactor(node int32) float64 {
+	f := inj.allNodeFactor
+	if inj.nodeFactor != nil && int(node) < len(inj.nodeFactor) && node >= 0 {
+		f *= inj.nodeFactor[node]
+	}
+	return f
+}
+
+// NICFactor returns the NIC serialization slowdown of a node at simulated
+// time t (1 = healthy). Flapping NICs alternate between their degraded
+// factor and 1 with the configured period and duty cycle.
+func (inj *Injector) NICFactor(node int32, t float64) float64 {
+	f := flap(inj.allNicFactor, inj.allNicPeriod, inj.allNicDuty, t)
+	if inj.nicFactor != nil && int(node) < len(inj.nicFactor) && node >= 0 {
+		f *= flap(inj.nicFactor[node], inj.nicPeriod[node], inj.nicDuty[node], t)
+	}
+	return f
+}
+
+func flap(factor, period, duty float64, t float64) float64 {
+	if factor == 1 {
+		return 1
+	}
+	if period <= 0 {
+		return factor
+	}
+	if math.Mod(t, period) < duty*period {
+		return factor
+	}
+	return 1
+}
+
+// SigmaBoost returns the extra noise sigma in effect at simulated time t.
+func (inj *Injector) SigmaBoost(t float64) float64 {
+	if inj.extraSigma == 0 || t < inj.burstStart || t >= inj.burstEnd {
+		return 0
+	}
+	return inj.extraSigma
+}
+
+// StartOutlier returns the extra start-time offset (seconds) of rank in
+// benchmark repetition rep — usually 0, occasionally the configured outlier
+// magnitude. The draw is a pure function of (plan seed, rep, rank), so a
+// resumed benchmark reproduces the exact offsets of an uninterrupted one.
+func (inj *Injector) StartOutlier(rep int, rank int) float64 {
+	if inj.clockProb <= 0 {
+		return 0
+	}
+	rng := sim.NewRNG(sim.Seed(inj.seed, 0xC10C, uint64(rep), uint64(rank)))
+	if rng.Float64() >= inj.clockProb {
+		return 0
+	}
+	o := rng.Norm() * inj.clockScale
+	return math.Abs(o) + inj.clockScale
+}
+
+// Active reports whether the injector perturbs network transfers at all
+// (clock outliers act in the benchmark harness, not the network model).
+func (inj *Injector) Active() bool {
+	if inj == nil {
+		return false
+	}
+	return inj.allNodeFactor != 1 || inj.allNicFactor != 1 ||
+		inj.nodeFactor != nil || inj.extraSigma != 0
+}

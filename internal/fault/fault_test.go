@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "straggler:node=0,factor=4;nic:node=1,factor=8,period=0.002,duty=0.5;noise:sigma=0.3,start=0,dur=0.001;clock:prob=0.05,scale=5e-05"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 4 {
+		t.Fatalf("got %d faults, want 4", len(p.Faults))
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if len(p2.Faults) != len(p.Faults) {
+		t.Fatalf("round trip lost faults: %q", p.String())
+	}
+	for i := range p.Faults {
+		if p.Faults[i] != p2.Faults[i] {
+			t.Errorf("fault %d changed in round trip: %+v vs %+v", i, p.Faults[i], p2.Faults[i])
+		}
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;"} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, p, err)
+		}
+	}
+	for _, spec := range []string{
+		"wat:node=1",               // unknown kind
+		"straggler:node",           // not key=value
+		"straggler:node=x",         // non-numeric
+		"straggler:factor=0.5",     // factor < 1
+		"nic:duty=1.5",             // duty out of range
+		"noise:sigma=-1",           // negative sigma
+		"clock:prob=2",             // probability out of range
+		"straggler:node=0,bogus=1", // unknown argument
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded; want error", spec)
+		}
+	}
+}
+
+func TestInjectorNilForEmptyPlan(t *testing.T) {
+	var p *Plan
+	if inj := p.Injector(8); inj != nil {
+		t.Error("nil plan compiled to non-nil injector")
+	}
+	if inj := (&Plan{}).Injector(8); inj != nil {
+		t.Error("empty plan compiled to non-nil injector")
+	}
+	var nilInj *Injector
+	if nilInj.Active() {
+		t.Error("nil injector reports active")
+	}
+}
+
+func TestStragglerFactors(t *testing.T) {
+	p, err := Parse("straggler:node=2,factor=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.Injector(4)
+	if f := inj.NodeFactor(2); f != 3 {
+		t.Errorf("straggler node factor = %v, want 3", f)
+	}
+	for _, n := range []int32{0, 1, 3, 100} {
+		if f := inj.NodeFactor(n); f != 1 {
+			t.Errorf("healthy node %d factor = %v, want 1", n, f)
+		}
+	}
+	if !inj.Active() {
+		t.Error("straggler injector not active")
+	}
+}
+
+func TestAllNodesStraggler(t *testing.T) {
+	p, err := Parse("straggler:factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.Injector(4)
+	for _, n := range []int32{0, 3} {
+		if f := inj.NodeFactor(n); f != 2 {
+			t.Errorf("node %d factor = %v, want 2", n, f)
+		}
+	}
+}
+
+func TestNICFlapping(t *testing.T) {
+	p, err := Parse("nic:node=0,factor=8,period=0.01,duty=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.Injector(2)
+	if f := inj.NICFactor(0, 0.001); f != 8 {
+		t.Errorf("degraded phase factor = %v, want 8", f)
+	}
+	if f := inj.NICFactor(0, 0.006); f != 1 {
+		t.Errorf("healthy phase factor = %v, want 1", f)
+	}
+	if f := inj.NICFactor(1, 0.001); f != 1 {
+		t.Errorf("other node factor = %v, want 1", f)
+	}
+	// Constant degradation without a period.
+	p2, _ := Parse("nic:node=0,factor=4")
+	inj2 := p2.Injector(2)
+	for _, tm := range []float64{0, 0.5, 123} {
+		if f := inj2.NICFactor(0, tm); f != 4 {
+			t.Errorf("constant degradation factor at t=%v is %v, want 4", tm, f)
+		}
+	}
+}
+
+func TestNoiseBurstWindow(t *testing.T) {
+	p, err := Parse("noise:sigma=0.25,start=0.001,dur=0.002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.Injector(1)
+	if b := inj.SigmaBoost(0.002); b != 0.25 {
+		t.Errorf("in-window boost = %v, want 0.25", b)
+	}
+	if b := inj.SigmaBoost(0.0005); b != 0 {
+		t.Errorf("pre-window boost = %v, want 0", b)
+	}
+	if b := inj.SigmaBoost(0.004); b != 0 {
+		t.Errorf("post-window boost = %v, want 0", b)
+	}
+	// Unbounded burst.
+	p2, _ := Parse("noise:sigma=0.1")
+	inj2 := p2.Injector(1)
+	if b := inj2.SigmaBoost(1e9); b != 0.1 {
+		t.Errorf("unbounded boost = %v, want 0.1", b)
+	}
+}
+
+func TestClockOutliersDeterministicAndRare(t *testing.T) {
+	p, err := Parse("clock:prob=0.1,scale=1e-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 42
+	inj := p.Injector(1)
+	hits := 0
+	const reps, ranks = 100, 16
+	for rep := 0; rep < reps; rep++ {
+		for rank := 0; rank < ranks; rank++ {
+			o := inj.StartOutlier(rep, rank)
+			if o != inj.StartOutlier(rep, rank) {
+				t.Fatal("StartOutlier not deterministic")
+			}
+			if o < 0 {
+				t.Fatalf("negative outlier %v", o)
+			}
+			if o > 0 {
+				hits++
+				if o < 1e-5 {
+					t.Errorf("outlier %v below scale", o)
+				}
+			}
+		}
+	}
+	frac := float64(hits) / (reps * ranks)
+	if math.Abs(frac-0.1) > 0.05 {
+		t.Errorf("outlier fraction %v far from prob 0.1", frac)
+	}
+	// Different seeds draw different outliers.
+	p2 := &Plan{Seed: 43, Faults: p.Faults}
+	inj2 := p2.Injector(1)
+	same := true
+	for rep := 0; rep < 50 && same; rep++ {
+		if inj.StartOutlier(rep, 0) != inj2.StartOutlier(rep, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical outlier streams")
+	}
+}

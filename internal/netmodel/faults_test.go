@@ -1,0 +1,90 @@
+package netmodel
+
+import (
+	"testing"
+
+	"mpicollpred/internal/fault"
+)
+
+// TestFaultSeamZeroImpactWhenNil proves the nil-by-default seam: a model
+// with SetFaults(nil) produces transfer times bit-identical to one that
+// never heard of faults, noisy or not.
+func TestFaultSeamZeroImpactWhenNil(t *testing.T) {
+	topo := Topology{Nodes: 2, PPN: 2}
+	for _, noisy := range []bool{false, true} {
+		a := New(testParams(), topo, 7, noisy)
+		b := New(testParams(), topo, 7, noisy)
+		b.SetFaults(nil)
+		for i := 0; i < 50; i++ {
+			sa, aa := a.SendEager(0, 2, 4096, float64(i)*1e-6)
+			sb, ab := b.SendEager(0, 2, 4096, float64(i)*1e-6)
+			if sa != sb || aa != ab {
+				t.Fatalf("noisy=%v transfer %d: (%v,%v) vs (%v,%v)", noisy, i, sa, aa, sb, ab)
+			}
+		}
+	}
+}
+
+func TestStragglerSlowsTouchingTransfersOnly(t *testing.T) {
+	topo := Topology{Nodes: 3, PPN: 1}
+	plan, err := fault.Parse("straggler:node=1,factor=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := New(testParams(), topo, 1, false)
+	faulty := New(testParams(), topo, 1, false)
+	faulty.SetFaults(plan.Injector(topo.Nodes))
+
+	// Transfer touching the straggler node is slower.
+	_, cleanArr := clean.SendEager(0, 1, 1<<20, 0)
+	_, faultyArr := faulty.SendEager(0, 1, 1<<20, 0)
+	if faultyArr <= cleanArr {
+		t.Errorf("straggler-bound transfer: faulty %v <= clean %v", faultyArr, cleanArr)
+	}
+
+	// Transfer between healthy nodes is untouched.
+	clean.Reset(1)
+	faulty.Reset(1)
+	cs, ca := clean.SendEager(0, 2, 1<<20, 0)
+	fs, fa := faulty.SendEager(0, 2, 1<<20, 0)
+	if cs != fs || ca != fa {
+		t.Errorf("healthy transfer perturbed: (%v,%v) vs (%v,%v)", cs, ca, fs, fa)
+	}
+}
+
+func TestDegradedNICSlowsSerializationUnderContention(t *testing.T) {
+	topo := Topology{Nodes: 3, PPN: 2}
+	plan, err := fault.Parse("nic:node=0,factor=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := New(testParams(), topo, 1, false)
+	faulty := New(testParams(), topo, 1, false)
+	faulty.SetFaults(plan.Injector(topo.Nodes))
+
+	// Two large messages leave node 0 back to back: the second queues on
+	// the NIC, so a degraded NIC compounds.
+	clean.SendEager(0, 2, 1<<20, 0)
+	_, cleanArr := clean.SendEager(1, 4, 1<<20, 0)
+	faulty.SendEager(0, 2, 1<<20, 0)
+	_, faultyArr := faulty.SendEager(1, 4, 1<<20, 0)
+	if faultyArr <= cleanArr*2 {
+		t.Errorf("degraded NIC under contention: faulty %v, clean %v", faultyArr, cleanArr)
+	}
+}
+
+func TestFaultsSurviveReset(t *testing.T) {
+	topo := Topology{Nodes: 2, PPN: 1}
+	plan, err := fault.Parse("straggler:node=0,factor=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(testParams(), topo, 1, false)
+	m.SetFaults(plan.Injector(topo.Nodes))
+	_, before := m.SendEager(0, 1, 1<<16, 0)
+	m.Reset(2)
+	_, after := m.SendEager(0, 1, 1<<16, 0)
+	if before != after {
+		t.Errorf("fault injection lost across Reset: %v vs %v", before, after)
+	}
+}

@@ -6,7 +6,10 @@
 // deterministic multiplicative noise.
 package netmodel
 
-import "mpicollpred/internal/sim"
+import (
+	"mpicollpred/internal/fault"
+	"mpicollpred/internal/sim"
+)
 
 // Params collects all model constants for one machine. Times are in seconds,
 // per-byte gaps in seconds/byte.
@@ -104,6 +107,10 @@ type Model struct {
 	// Instrumentation, both off by default.
 	stats  *Stats
 	tracer sim.ResourceTracer
+
+	// Fault injection, off by default: a nil injector costs one nil check
+	// per transfer and leaves timings bit-identical to a fault-free model.
+	faults *fault.Injector
 }
 
 // New returns a run-ready Model. seed keys the deterministic noise; noisy
@@ -159,17 +166,33 @@ func (m *Model) Stats() Stats {
 // receives one span per NIC/memory-bus busy period.
 func (m *Model) SetTracer(t sim.ResourceTracer) { m.tracer = t }
 
+// SetFaults installs a fault injector (nil disables, the default). Straggler
+// faults multiply the cost of every message entering or leaving the target
+// node; degraded-NIC faults multiply the NIC serialization cost (flapping
+// with their configured period); noise bursts raise the per-message noise
+// sigma inside their simulated-time window. The injector survives Reset —
+// faults describe the machine, not one run.
+func (m *Model) SetFaults(inj *fault.Injector) { m.faults = inj }
+
 // Params returns the model constants.
 func (m *Model) Params() Params { return m.prm }
 
 // Topo returns the process topology.
 func (m *Model) Topo() Topology { return m.topo }
 
-func (m *Model) noise() float64 {
+// noiseAt draws the multiplicative noise factor for a transfer starting at
+// simulated time t. Noise-burst faults raise the sigma inside their window;
+// with no injector installed this is exactly the base-sigma draw, consuming
+// the same RNG stream as a fault-free model.
+func (m *Model) noiseAt(t float64) float64 {
 	if m.rng == nil {
 		return 1
 	}
-	return m.rng.LogNormal(m.prm.Sigma)
+	sigma := m.prm.Sigma
+	if m.faults != nil {
+		sigma += m.faults.SigmaBoost(t)
+	}
+	return m.rng.LogNormal(sigma)
 }
 
 // Eager implements sim.CostModel.
@@ -181,14 +204,20 @@ func (m *Model) Eager(bytes uint32) bool { return bytes < m.prm.Eager }
 // serialization.
 func (m *Model) transfer(src, dst int32, bytes uint32, ready float64) (egressDone, arrival float64) {
 	b := float64(bytes)
-	f := m.noise()
 	if m.topo.SameNode(src, dst) {
 		node := m.topo.NodeOf(src)
 		start := maxf(ready, m.mem[node])
 		busy := b * m.prm.GMem
+		lat := m.prm.LIntra + b*m.prm.GIntra
+		if m.faults != nil {
+			nf := m.faults.NodeFactor(node)
+			busy *= nf
+			lat *= nf
+		}
+		f := m.noiseAt(start)
 		m.mem[node] = start + busy
 		egressDone = start + busy
-		arrival = start + (m.prm.LIntra+b*m.prm.GIntra)*f
+		arrival = start + lat*f
 		if arrival < egressDone {
 			arrival = egressDone
 		}
@@ -203,10 +232,17 @@ func (m *Model) transfer(src, dst int32, bytes uint32, ready float64) (egressDon
 	sn, dn := m.topo.NodeOf(src), m.topo.NodeOf(dst)
 	start := maxf(ready, maxf(m.egress[sn], m.ingress[dn]))
 	busy := b * m.prm.GNic
+	lat := m.prm.LInter + b*m.prm.GInter
+	if m.faults != nil {
+		nf := m.faults.NodeFactor(sn) * m.faults.NodeFactor(dn)
+		busy *= nf * m.faults.NICFactor(sn, start) * m.faults.NICFactor(dn, start)
+		lat *= nf
+	}
+	f := m.noiseAt(start)
 	m.egress[sn] = start + busy
 	m.ingress[dn] = start + busy
 	egressDone = start + busy
-	arrival = start + (m.prm.LInter+b*m.prm.GInter)*f
+	arrival = start + lat*f
 	if arrival < egressDone {
 		arrival = egressDone
 	}
