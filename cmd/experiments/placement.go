@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"mpicollpred/internal/machine"
@@ -26,13 +27,13 @@ func runPlacement(c *expCtx) (string, error) {
 
 	best := func(topo netmodel.Topology, m int64) (mpilib.Config, float64, error) {
 		var bc mpilib.Config
-		bt := 0.0
+		bt := math.Inf(1)
 		for _, cfg := range set.Selectable() {
 			t, err := mpilib.SimulateOnce(eng, cfg, mach.Net, topo, m, 3, false)
 			if err != nil {
 				return bc, 0, err
 			}
-			if bt == 0 || t < bt {
+			if t < bt {
 				bc, bt = cfg, t
 			}
 		}

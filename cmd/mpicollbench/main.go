@@ -132,7 +132,7 @@ func runOne(log *obs.Logger, name string, sc dataset.Scale, cache string,
 	var d *dataset.Dataset
 	if f, err := os.Open(path); err == nil {
 		d, err = dataset.ReadCSV(f)
-		f.Close()
+		_ = f.Close() // read-only file; the read itself was checked
 		if err != nil {
 			log.Errorf("mpicollbench: corrupt cache %s: %v", path, err)
 			return 1

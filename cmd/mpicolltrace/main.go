@@ -104,7 +104,7 @@ func main() {
 	f, err := os.Create(*out)
 	fail(err)
 	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing with the write error
 		fail(err)
 	}
 	fail(f.Close())

@@ -1,0 +1,23 @@
+// Command mpicollvet runs the repository's domain-specific static-analysis
+// suite (internal/lint) over Go package patterns and reports findings.
+//
+// Usage:
+//
+//	go run ./cmd/mpicollvet ./...          # text report, exit 1 on findings
+//	go run ./cmd/mpicollvet -json ./...    # machine-readable report
+//	go run ./cmd/mpicollvet -list          # describe the analyzers
+//
+// The analyzers enforce the pipeline's determinism, numeric-safety, and
+// metrics-hygiene invariants; see DESIGN.md §8 for the full catalogue and
+// the suppression-comment syntax.
+package main
+
+import (
+	"os"
+
+	"mpicollpred/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.CLIMain(os.Args[1:], os.Stdout, os.Stderr))
+}

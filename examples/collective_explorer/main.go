@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
@@ -50,13 +51,13 @@ func main() {
 		fmt.Printf("\n%s (%d algorithms, %d configurations):\n", collName, set.NumAlgs, len(set.Configs))
 		for _, m := range msizes {
 			var bestCfg, worstCfg mpilib.Config
-			var bestT, worstT float64
+			bestT, worstT := math.Inf(1), 0.0
 			for _, cfg := range set.Selectable() {
 				t, err := mpilib.SimulateOnce(eng, cfg, mach.Net, topo, m, 5, false)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if bestT == 0 || t < bestT {
+				if t < bestT {
 					bestCfg, bestT = cfg, t
 				}
 				if t > worstT {

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/mpilib"
@@ -46,13 +47,13 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			best := 0.0
+			best := math.Inf(1)
 			for _, c := range set.Selectable() {
 				t, err := mpilib.SimulateOnce(eng, c, mach.Net, topo, m, 7, false)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if best == 0 || t < best {
+				if t < best {
 					best = t
 				}
 			}

@@ -125,9 +125,10 @@ func (m Measurement) Quantile(q float64) float64 {
 	rank := q * float64(len(s)-1)
 	lo := int(math.Floor(rank))
 	frac := rank - float64(lo)
-	if frac == 0 || lo+1 >= len(s) {
+	if lo+1 >= len(s) {
 		return s[lo]
 	}
+	// frac == 0 degenerates to s[lo] exactly, so no special case is needed.
 	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/ml"
 	"mpicollpred/internal/mpilib"
@@ -183,7 +184,7 @@ func TrainClassifier(ds *dataset.Dataset, set *mpilib.CollectiveSet, trainNodes 
 	}
 	for j := range sel.scale {
 		sel.scale[j] = math.Sqrt(sel.scale[j] / n)
-		if sel.scale[j] == 0 {
+		if floats.Zero(sel.scale[j]) {
 			sel.scale[j] = 1
 		}
 	}

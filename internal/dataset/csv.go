@@ -178,12 +178,12 @@ func (d *Dataset) WriteFile(path string) error {
 		return err
 	}
 	if err := d.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // already failing with the write error
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing with the sync error
 		os.Remove(tmp)
 		return err
 	}
@@ -215,7 +215,7 @@ func LoadOrGenerate(dir, name string, scale Scale, progress func(done, total int
 	}
 	path := cachePath(dir, name, scale)
 	if f, err := os.Open(path); err == nil {
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only file; the read itself is checked
 		d, err := ReadCSV(f)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: corrupt cache %s: %w", path, err)

@@ -53,12 +53,12 @@ func createJournal(path, identity string) (*journal, error) {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{journalMagic, identity}); err != nil {
-		f.Close()
+		_ = f.Close() // already failing with the write error
 		return nil, err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing with the flush error
 		return nil, err
 	}
 	return &journal{f: f, w: w}, nil
@@ -85,7 +85,7 @@ func (j *journal) record(s Sample) error {
 func (j *journal) Close() error {
 	j.w.Flush()
 	if err := j.w.Error(); err != nil {
-		j.f.Close()
+		_ = j.f.Close() // already failing with the flush error
 		return err
 	}
 	return j.f.Close()
@@ -99,7 +99,7 @@ func readJournal(path string) (identity string, samples map[sampleKey]Sample, er
 	if err != nil {
 		return "", nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only file; scanner errors are checked
 
 	var lines []string
 	sc := bufio.NewScanner(f)
@@ -161,16 +161,15 @@ func JournalPath(cachePath string) string { return cachePath + ".journal" }
 // Seeds depend only on (dataset, config, instance), so a resumed run
 // produces a dataset bit-identical to an uninterrupted one. On success the
 // caller should Save the dataset and may delete the journal.
-func GenerateResumable(spec Spec, opts bench.Options, journalPath string, resume bool, stop func() bool, progress func(done, total int)) (*Dataset, error) {
+func GenerateResumable(spec Spec, opts bench.Options, journalPath string, resume bool, stop func() bool, progress func(done, total int)) (ds *Dataset, err error) {
 	identity := journalIdentity(spec, opts)
 	var recorded map[sampleKey]Sample
 	if resume {
-		if id, samples, err := readJournal(journalPath); err == nil && id == identity {
+		if id, samples, jerr := readJournal(journalPath); jerr == nil && id == identity {
 			recorded = samples
 		}
 	}
 	var j *journal
-	var err error
 	if len(recorded) > 0 {
 		j, err = openJournalAppend(journalPath)
 	} else {
@@ -180,10 +179,17 @@ func GenerateResumable(spec Spec, opts bench.Options, journalPath string, resume
 	if err != nil {
 		return nil, err
 	}
-	defer j.Close()
+	// The journal is the crash-recovery record: a failed close means rows
+	// may not have reached the OS, so it must surface as an error rather
+	// than leave a silently unresumable journal behind.
+	defer func() {
+		if cerr := j.Close(); cerr != nil && err == nil {
+			ds, err = nil, fmt.Errorf("dataset: closing journal %s: %w", journalPath, cerr)
+		}
+	}()
 
 	reused := 0
-	ds, err := generate(spec, opts, progress, genControl{
+	ds, err = generate(spec, opts, progress, genControl{
 		recorded: recorded,
 		record:   j.record,
 		stop:     stop,

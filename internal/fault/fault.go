@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/sim"
 )
 
@@ -335,7 +336,7 @@ func (inj *Injector) NICFactor(node int32, t float64) float64 {
 }
 
 func flap(factor, period, duty float64, t float64) float64 {
-	if factor == 1 {
+	if floats.Exact(factor, 1) { // 1 is the assigned "no fault" sentinel
 		return 1
 	}
 	if period <= 0 {
@@ -349,7 +350,7 @@ func flap(factor, period, duty float64, t float64) float64 {
 
 // SigmaBoost returns the extra noise sigma in effect at simulated time t.
 func (inj *Injector) SigmaBoost(t float64) float64 {
-	if inj.extraSigma == 0 || t < inj.burstStart || t >= inj.burstEnd {
+	if floats.Exact(inj.extraSigma, 0) || t < inj.burstStart || t >= inj.burstEnd {
 		return 0
 	}
 	return inj.extraSigma
@@ -377,6 +378,6 @@ func (inj *Injector) Active() bool {
 	if inj == nil {
 		return false
 	}
-	return inj.allNodeFactor != 1 || inj.allNicFactor != 1 ||
-		inj.nodeFactor != nil || inj.extraSigma != 0
+	return !floats.Exact(inj.allNodeFactor, 1) || !floats.Exact(inj.allNicFactor, 1) ||
+		inj.nodeFactor != nil || !floats.Exact(inj.extraSigma, 0)
 }

@@ -1,0 +1,29 @@
+package lint
+
+// DeterministicPackages are the import-path fragments of the packages that
+// must never read the wall clock: they advance simulated time only, and
+// their outputs must be bit-identical run to run (DESIGN §5).
+var DeterministicPackages = []string{
+	"internal/sim", "internal/netmodel", "internal/fault", "internal/coll",
+}
+
+// PanicAllowedPackages are the import-path fragments whose panics a
+// guardrail recovers: core.safeFit/safePredict convert learner panics into
+// quarantined models (DESIGN §7), so the learners under internal/ml may
+// panic on programmer error.
+var PanicAllowedPackages = []string{
+	"internal/ml",
+}
+
+// DefaultAnalyzers returns the full mpicollvet suite with this repository's
+// configuration.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewMapOrder(),
+		NewFloatEq(),
+		NewSeededRand(),
+		NewWallClock(DeterministicPackages),
+		NewDroppedErr(),
+		NewPanicGuard(PanicAllowedPackages),
+	}
+}

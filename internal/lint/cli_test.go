@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the driver and returns (exit code, stdout, stderr).
+func runCLI(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := CLIMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIFindingsText(t *testing.T) {
+	code, out, errb := runCLI("./testdata/src/driver/flagged")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (findings)\nstdout:\n%s\nstderr:\n%s", code, ExitFindings, out, errb)
+	}
+	for _, want := range []string{"[floateq]", "[seededrand]", "flagged.go"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errb, "finding(s)") {
+		t.Errorf("stderr missing findings count:\n%s", errb)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	code, out, errb := runCLI("-json", "./testdata/src/driver/flagged")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitFindings, errb)
+	}
+	var findings []Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		seen[f.Analyzer] = true
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding has no position: %+v", f)
+		}
+		if !strings.Contains(f.File, "flagged.go") {
+			t.Errorf("finding file = %q, want flagged.go", f.File)
+		}
+		if f.Message == "" {
+			t.Errorf("finding has empty message: %+v", f)
+		}
+	}
+	if !seen["floateq"] || !seen["seededrand"] {
+		t.Errorf("analyzers seen = %v, want floateq and seededrand", seen)
+	}
+}
+
+func TestCLIJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runCLI("-json", "./testdata/src/driver/clean")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	var findings []Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Errorf("got %d findings on clean package: %+v", len(findings), findings)
+	}
+}
+
+func TestCLISuppressed(t *testing.T) {
+	code, out, errb := runCLI("./testdata/src/driver/suppressed")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d (suppression directives must silence the findings)\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out, errb)
+	}
+	if out != "" {
+		t.Errorf("stdout not empty:\n%s", out)
+	}
+}
+
+func TestCLIClean(t *testing.T) {
+	code, out, _ := runCLI("./testdata/src/driver/clean")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	if out != "" {
+		t.Errorf("stdout not empty:\n%s", out)
+	}
+}
+
+func TestCLIBadIgnore(t *testing.T) {
+	code, out, _ := runCLI("./testdata/src/driver/badignore")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (malformed directives are findings)\nstdout:\n%s", code, ExitFindings, out)
+	}
+	for _, want := range []string{"[ignore]", "malformed directive", "unknown analyzer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	code, out, _ := runCLI("-list")
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d", code, ExitClean)
+	}
+	for _, a := range DefaultAnalyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out)
+		}
+	}
+}
+
+func TestCLIBadPattern(t *testing.T) {
+	code, _, errb := runCLI("./does/not/exist")
+	if code != ExitError {
+		t.Fatalf("exit = %d, want %d (load failure)\nstderr:\n%s", code, ExitError, errb)
+	}
+	if errb == "" {
+		t.Error("load failure produced no stderr diagnostic")
+	}
+}
+
+// TestRepoIsVetClean is the acceptance criterion with teeth: the whole
+// repository must pass its own analyzers. If this fails, run
+// `go run ./cmd/mpicollvet ./...` at the repo root and fix (or justify with
+// an //mpicollvet:ignore directive) every finding.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	code, out, errb := runCLI("-C", "../..", "./...")
+	if code != ExitClean {
+		t.Fatalf("mpicollvet on the repository exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out, errb)
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// writerMethods are method names whose returned error signals lost or
+// unflushed output; dropping it silently corrupts caches and journals.
+var writerMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true,
+}
+
+// neverFailPkgs are packages whose writer methods are documented to always
+// return a nil error (strings.Builder, bytes.Buffer, hash.Hash); checking
+// those errors is pure noise, so they are exempt.
+var neverFailPkgs = map[string]bool{
+	"strings": true, "bytes": true, "hash": true,
+}
+
+// NewDroppedErr returns the droppederr analyzer: it flags statements (plain
+// and deferred) that discard the error result of writer-shaped method calls
+// — Close/Flush/Sync/Write* on files, buffered writers, CSV writers, and
+// friends. PR 2's atomic cache writes and crash-safe journals only hold if
+// every write error is observed. An explicit `_ = f.Close()` assignment is
+// the sanctioned way to document a deliberate discard (e.g. cleanup on an
+// error path that already returns a better error). In-memory sinks that
+// cannot fail (strings.Builder, bytes.Buffer, hash.Hash) are exempt.
+func NewDroppedErr() *Analyzer {
+	a := &Analyzer{
+		Name: "droppederr",
+		Doc:  "discarded error from writer Close/Flush/Sync/Write calls; check it or assign to _",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				deferred := false
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call, deferred = st.Call, true
+				case *ast.GoStmt:
+					call = st.Call
+				}
+				if call == nil {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !writerMethods[sel.Sel.Name] {
+					return true
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil {
+					return true // package function, not a method
+				}
+				if isNeverFailWriter(selection.Recv()) {
+					return true
+				}
+				sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+				if !ok || sig.Results().Len() == 0 {
+					return true
+				}
+				if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+					return true
+				}
+				how := "discards"
+				if deferred {
+					how = "defers and discards"
+				}
+				pass.Reportf(call.Pos(),
+					"%s the error from %s; check it or assign to _ to document the discard",
+					how, emitCallName(call))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isNeverFailWriter reports whether the receiver type lives in a package
+// whose writer methods are documented never to fail.
+func isNeverFailWriter(recv types.Type) bool {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return neverFailPkgs[path] || strings.HasPrefix(path, "hash/")
+}

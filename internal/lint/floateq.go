@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatEq returns the floateq analyzer: it flags == and != between
+// floating-point operands. Benchmark summaries, model predictions, and cost
+// estimates are all floats that accumulate rounding error; exact equality
+// silently turns into "never equal" (or worse, "sometimes equal"). Compare
+// with an epsilon, or use math.IsNaN / math.IsInf for the special values.
+//
+// Exempt: comparisons where both operands are compile-time constants
+// (resolved exactly by the compiler), the x != x NaN idiom, and
+// comparisons against math.Inf(...) (infinity compares exactly).
+func NewFloatEq() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "floating-point ==/!= outside tests; use epsilon comparison or math.IsNaN/IsInf",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, xok := pass.TypesInfo.Types[be.X]
+				yt, yok := pass.TypesInfo.Types[be.Y]
+				if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded by the compiler
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x NaN idiom
+				}
+				if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+					return true // comparison against an exact infinity
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use an epsilon (math.Abs(a-b) <= eps) or math.IsNaN/IsInf",
+					be.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation substring from a `// want "..."` comment.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one `// want` comment: a message substring pinned to a
+// file base name and line.
+type expectation struct {
+	file   string
+	line   int
+	substr string
+	met    bool
+}
+
+// collectWants walks every .go file under dir and parses its `// want`
+// comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, &expectation{
+					file:   filepath.Base(path),
+					line:   i + 1,
+					substr: m[1],
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting want comments in %s: %v", dir, err)
+	}
+	return wants
+}
+
+// TestAnalyzerGoldens loads each analyzer's testdata packages (a flagged
+// package full of violations and a clean twin) and checks the findings
+// against the `// want "substr"` comments: every want must be matched by a
+// finding on its line, and every finding must be claimed by a want.
+func TestAnalyzerGoldens(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{NewMapOrder(), "maporder"},
+		{NewFloatEq(), "floateq"},
+		{NewSeededRand(), "seededrand"},
+		{NewWallClock([]string{"testdata/src/wallclock"}), "wallclock"},
+		{NewDroppedErr(), "droppederr"},
+		{NewPanicGuard([]string{"testdata/src/panicguard/clean"}), "panicguard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkgs, err := Load(".", []string{"./testdata/src/" + tc.dir + "/..."})
+			if err != nil {
+				t.Fatalf("loading testdata: %v", err)
+			}
+			if len(pkgs) != 2 {
+				t.Fatalf("got %d packages, want flagged + clean", len(pkgs))
+			}
+			wants := collectWants(t, filepath.Join("testdata", "src", tc.dir))
+			if len(wants) == 0 {
+				t.Fatalf("no // want comments under testdata/src/%s; golden is vacuous", tc.dir)
+			}
+			runner := &Runner{Analyzers: []*Analyzer{tc.analyzer}}
+			for _, f := range runner.Run(pkgs) {
+				if matchWant(wants, f) {
+					continue
+				}
+				t.Errorf("unexpected finding: %s", f)
+			}
+			for _, w := range wants {
+				if !w.met {
+					t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.substr)
+				}
+			}
+			// The clean package must contribute no wants and no findings.
+			for _, w := range wants {
+				if strings.Contains(w.file, "clean") {
+					t.Errorf("want comment in clean package %s:%d; clean twins must be silent", w.file, w.line)
+				}
+			}
+		})
+	}
+}
+
+// matchWant marks and reports the first unmet expectation that f satisfies.
+func matchWant(wants []*expectation, f Finding) bool {
+	for _, w := range wants {
+		if !w.met && w.file == filepath.Base(f.File) && w.line == f.Line &&
+			strings.Contains(f.Message, w.substr) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"example.com/repo/internal/sim", "internal/sim", true},
+		{"internal/sim", "internal/sim", true},
+		{"internal/sim/engine", "internal/sim", true},
+		{"example.com/repo/internal/sim/engine", "internal/sim", true},
+		{"example.com/repo/internal/simulator", "internal/sim", false},
+		{"example.com/repo/internal/ml", "internal/sim", false},
+	}
+	for _, tc := range cases {
+		if got := pathMatches(tc.path, tc.pattern); got != tc.want {
+			t.Errorf("pathMatches(%q, %q) = %v, want %v", tc.path, tc.pattern, got, tc.want)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 3, Col: 7, Analyzer: "floateq", Message: "boom"}
+	if got, want := f.String(), "a/b.go:3:7: [floateq] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDefaultAnalyzersComplete(t *testing.T) {
+	want := []string{"maporder", "floateq", "seededrand", "wallclock", "droppederr", "panicguard"}
+	got := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		got[a.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("DefaultAnalyzers missing %s", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("DefaultAnalyzers has %d analyzers, want %d", len(got), len(want))
+	}
+}

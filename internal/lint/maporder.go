@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// emitFuncs are fmt package-level functions whose output order is
+// user-visible.
+var emitFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// emitMethods are method names that serialize data to an output stream. A
+// map iteration that reaches one of these produces artifacts in Go's
+// randomized map order — the exact failure mode that breaks byte-identical
+// caches, traces, and tables.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Encode": true, "WriteRow": true, "Printf": true,
+	"Fprintf": true,
+}
+
+// NewMapOrder returns the maporder analyzer: it flags `range` statements
+// over a map whose body emits output (fmt printing, Write*/Encode method
+// calls). Deterministic exporters must collect keys, sort them, and iterate
+// the sorted slice instead.
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration feeding CSV/table/trace/metrics output must sort keys first",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if call := findEmitCall(pass, rs.Body); call != nil {
+					pass.Reportf(rs.Pos(),
+						"iteration over map %s emits output (%s) in nondeterministic order; collect and sort the keys first",
+						types.ExprString(rs.X), emitCallName(call))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// findEmitCall returns the first output-producing call inside body, or nil.
+func findEmitCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Method call on some receiver: Write/Encode family.
+		if pass.TypesInfo.Selections[sel] != nil {
+			if emitMethods[sel.Sel.Name] {
+				found = call
+				return false
+			}
+			return true
+		}
+		// Qualified package function: fmt.Fprintf and friends.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == "fmt" && emitFuncs[sel.Sel.Name] {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// emitCallName renders the flagged call for the report message.
+func emitCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}

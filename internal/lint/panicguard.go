@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewPanicGuard returns the panicguard analyzer: panic(...) is only allowed
+// in packages whose panics a guardrail demonstrably recovers (allowed,
+// matched as import-path fragments). PR 2's selector guardrails recover
+// learner panics via safeFit/safePredict, so internal/ml learners may
+// panic on programmer error; anywhere else a panic takes down a tuned
+// installation and must be a returned error instead. A deliberate
+// invariant panic elsewhere needs an //mpicollvet:ignore directive with a
+// justification.
+func NewPanicGuard(allowed []string) *Analyzer {
+	a := &Analyzer{
+		Name: "panicguard",
+		Doc:  "panic outside guardrail-recovered packages; return an error instead",
+	}
+	a.Run = func(pass *Pass) {
+		if anyPathMatches(pass.Pkg.Path(), allowed) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in %s is not recovered by any guardrail; return an error (only internal/ml learner panics are recovered)",
+					pass.Pkg.Path())
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// randConstructors are math/rand package-level functions that do NOT draw
+// from the implicitly seeded global source and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NewSeededRand returns the seededrand analyzer: it flags uses of the
+// global math/rand (and math/rand/v2) top-level functions — rand.Intn,
+// rand.Float64, rand.Shuffle, ... — which draw from a process-global,
+// implicitly seeded source. Fault plans, noise models, and simulator RNG
+// streams must be reproducible from an explicit seed, so all randomness
+// goes through an explicitly constructed *rand.Rand
+// (rand.New(rand.NewSource(seed))).
+func NewSeededRand() *Analyzer {
+	a := &Analyzer{
+		Name: "seededrand",
+		Doc:  "global math/rand functions break seeded reproducibility; use an explicit *rand.Rand",
+	}
+	a.Run = func(pass *Pass) {
+		for id, obj := range pass.TypesInfo.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil || randConstructors[fn.Name()] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from the implicitly seeded global source; use an explicitly seeded *rand.Rand",
+				path, fn.Name())
+		}
+	}
+	return a
+}

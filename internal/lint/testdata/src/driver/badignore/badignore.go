@@ -1,0 +1,12 @@
+// Package badignore carries malformed suppression directives: one with no
+// reason, one naming an unknown analyzer. The driver must report both from
+// the "ignore" pseudo-analyzer.
+package badignore
+
+// Scale is fine on its own; only the directives are broken.
+func Scale(x float64) float64 {
+	//mpicollvet:ignore floateq
+	y := x * 2
+	//mpicollvet:ignore nosuchanalyzer this analyzer does not exist
+	return y
+}

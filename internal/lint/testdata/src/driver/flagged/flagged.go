@@ -1,0 +1,15 @@
+// Package flagged carries one floateq and one seededrand violation for
+// driver-level tests (text output, -json, exit codes).
+package flagged
+
+import "math/rand"
+
+// Equalish compares floats exactly.
+func Equalish(a, b float64) bool {
+	return a == b
+}
+
+// Noise draws from the global source.
+func Noise() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,17 @@
+// Package suppressed carries the same violations as driver/flagged, each
+// silenced by a well-formed //mpicollvet:ignore directive — one trailing,
+// one on the line above. The driver must exit clean here.
+package suppressed
+
+import "math/rand"
+
+// Equalish documents why exact equality is intended at this site.
+func Equalish(a, b float64) bool {
+	return a == b //mpicollvet:ignore floateq golden fixture exercising a trailing suppression directive
+}
+
+// Noise documents why the global source is acceptable at this site.
+func Noise() float64 {
+	//mpicollvet:ignore seededrand golden fixture exercising a line-above suppression directive
+	return rand.Float64()
+}

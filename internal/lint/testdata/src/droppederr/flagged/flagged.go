@@ -1,0 +1,23 @@
+// Package flagged violates the droppederr invariant: writer errors vanish
+// silently, so truncated artifacts look like successes.
+package flagged
+
+import (
+	"bufio"
+	"os"
+)
+
+// Dump loses every error a writer can produce.
+func Dump(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defers and discards the error from f.Close"
+	w := bufio.NewWriter(f)
+	for _, ln := range lines {
+		w.WriteString(ln) // want "discards the error from w.WriteString"
+	}
+	w.Flush() // want "discards the error from w.Flush"
+	return nil
+}

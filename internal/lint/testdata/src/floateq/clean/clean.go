@@ -1,0 +1,21 @@
+// Package clean is the numerically safe twin of floateq/flagged.
+package clean
+
+import "math"
+
+const eps = 1e-9
+
+// Same compares within an epsilon.
+func Same(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// IsNaN uses the x != x idiom, which the analyzer must accept.
+func IsNaN(x float64) bool { return x != x }
+
+// Unbounded compares against an exact infinity, which is well-defined.
+func Unbounded(x float64) bool { return x == math.Inf(1) }
+
+// SameID compares integers; only floats are the analyzer's business.
+func SameID(a, b int) bool { return a == b }
+
+// constant comparisons are folded by the compiler and exempt.
+const widened = 1.5 == 1.25+0.25

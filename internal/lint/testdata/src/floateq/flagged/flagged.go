@@ -1,0 +1,18 @@
+// Package flagged violates the floateq invariant with raw floating-point
+// equality comparisons.
+package flagged
+
+// Same compares measured times exactly — rounding noise makes this wrong.
+func Same(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Changed inverts the same mistake.
+func Changed(prev, cur float32) bool {
+	return prev != cur // want "floating-point != comparison"
+}
+
+// MixedZero compares a computed float against a literal.
+func MixedZero(scale float64) bool {
+	return scale == 0 // want "floating-point == comparison"
+}

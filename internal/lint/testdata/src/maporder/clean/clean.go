@@ -1,0 +1,34 @@
+// Package clean is the deterministic twin of maporder/flagged: keys are
+// collected, sorted, and only then emitted.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpText emits series in sorted key order; the collection loop over the
+// map is pure accumulation, which the analyzer must accept.
+func DumpText(w io.Writer, series map[string]float64) error {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %g\n", k, series[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tally ranges over a map without emitting anything at all.
+func Tally(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package flagged violates the maporder invariant: it emits artifacts while
+// ranging over maps, so output order changes run to run.
+package flagged
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// DumpText prints series directly from map iteration.
+func DumpText(w io.Writer, series map[string]float64) {
+	for name, v := range series { // want "iteration over map series emits output"
+		fmt.Fprintf(w, "%s %g\n", name, v)
+	}
+}
+
+// DumpCSV writes rows straight out of a map.
+func DumpCSV(w *csv.Writer, rows map[string][]string) {
+	for key, row := range rows { // want "iteration over map rows emits output"
+		w.Write(append([]string{key}, row...))
+	}
+}

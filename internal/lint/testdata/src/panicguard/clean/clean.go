@@ -1,0 +1,16 @@
+// Package clean stands in for a guardrail-recovered learner package: the
+// test passes this package's path in the analyzer's allowed list, so its
+// panics are accepted.
+package clean
+
+// Fit panics on programmer error; the (simulated) guardrail recovers it.
+func Fit(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("Fit: empty training set")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

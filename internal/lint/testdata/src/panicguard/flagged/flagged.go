@@ -1,0 +1,13 @@
+// Package flagged violates the panicguard invariant: it panics in a package
+// no guardrail recovers.
+package flagged
+
+import "fmt"
+
+// MustPositive crashes the process instead of returning an error.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("n must be positive, got %d", n)) // want "not recovered by any guardrail"
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package clean is the reproducible twin of seededrand/flagged: every draw
+// flows from an explicitly seeded source.
+package clean
+
+import "math/rand"
+
+// Jitter derives all randomness from the caller's seed.
+func Jitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Shuffle reorders xs deterministically for a given seed.
+func Shuffle(seed int64, xs []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,20 @@
+// Package flagged violates the seededrand invariant by drawing from the
+// implicitly seeded global math/rand source.
+package flagged
+
+import "math/rand"
+
+// Jitter is irreproducible: no seed controls the draw.
+func Jitter() float64 {
+	return rand.Float64() // want "implicitly seeded global source"
+}
+
+// Shuffle randomizes order from the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "implicitly seeded global source"
+}
+
+// Pick draws an index from the global source.
+func Pick(n int) int {
+	return rand.Intn(n) // want "implicitly seeded global source"
+}

@@ -1,0 +1,21 @@
+// Package clean advances simulated time only: time.Time/Duration values are
+// data, never read from the host clock.
+package clean
+
+import "time"
+
+// Clock is a simulated clock advanced explicitly by the engine.
+type Clock struct {
+	now time.Duration
+}
+
+// Advance moves simulated time forward.
+func (c *Clock) Advance(d time.Duration) { c.now += d }
+
+// Now returns the current simulated time offset.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Deadline computes a simulated deadline; time.Duration arithmetic is fine.
+func Deadline(start, timeout time.Duration) time.Duration {
+	return start + timeout
+}

@@ -1,0 +1,20 @@
+// Package flagged violates the wallclock invariant: it reads the real clock
+// inside what the test configures as a deterministic package.
+package flagged
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want "reads the wall clock inside deterministic package"
+}
+
+// Elapsed measures real elapsed time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "reads the wall clock inside deterministic package"
+}
+
+// Wait blocks on the host scheduler.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "reads the wall clock inside deterministic package"
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// wallClockFuncs are time-package functions that read or depend on the
+// machine's real clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// NewWallClock returns the wallclock analyzer: inside the deterministic
+// packages (restricted, matched as import-path fragments) any use of the
+// real clock is a bug — the simulator, network model, fault injector, and
+// collective schedules advance simulated time only, and a wall-clock read
+// makes results depend on host load. Observability and benchmarking
+// packages legitimately measure wall time and are simply not listed.
+func NewWallClock(restricted []string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "wall-clock reads in deterministic packages (sim/netmodel/fault/coll); use simulated time",
+	}
+	a.Run = func(pass *Pass) {
+		if !anyPathMatches(pass.Pkg.Path(), restricted) {
+			return
+		}
+		for id, obj := range pass.TypesInfo.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				continue
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil || !wallClockFuncs[fn.Name()] {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock inside deterministic package %s; use the engine's simulated clock",
+				fn.Name(), pass.Pkg.Path())
+		}
+	}
+	return a
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/ml/linalg"
 )
 
@@ -334,7 +335,7 @@ func bsplineBasis(v, lo, hi float64, nb int, out []float64) {
 			tr := knot(k + r + 1)
 			tl := knot(k + r + 1 - deg)
 			var term float64
-			if tr != tl {
+			if !floats.Exact(tr, tl) { // repeated knots are copied values, equal exactly
 				term = nloc[r] / (tr - tl)
 			}
 			nloc[r] = saved + (tr-v)*term

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mpicollpred/internal/floats"
 )
 
 // Regressor is a KNN regression model.
@@ -55,7 +57,7 @@ func (r *Regressor) Fit(x [][]float64, y []float64) error {
 	}
 	for j := range r.scale {
 		r.scale[j] = math.Sqrt(r.scale[j] / n)
-		if r.scale[j] == 0 {
+		if floats.Zero(r.scale[j]) {
 			r.scale[j] = 1 // constant feature: contributes nothing
 		}
 	}

@@ -6,6 +6,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"mpicollpred/internal/floats"
 )
 
 // Matrix is a dense row-major matrix.
@@ -60,7 +62,7 @@ func (m *Matrix) AtA(w []float64) *Matrix {
 		}
 		for a := 0; a < m.Cols; a++ {
 			va := wi * row[a]
-			if va == 0 {
+			if floats.Exact(va, 0) { // skipping exact zeros never changes the sum
 				continue
 			}
 			outRow := out.Data[a*m.Cols:]
@@ -89,7 +91,7 @@ func (m *Matrix) AtV(v, w []float64) []float64 {
 		if w != nil {
 			wi *= w[i]
 		}
-		if wi == 0 {
+		if floats.Exact(wi, 0) { // skipping exact zeros never changes the sum
 			continue
 		}
 		row := m.Row(i)
@@ -163,7 +165,7 @@ func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
 			maxDiag = d
 		}
 	}
-	if maxDiag == 0 {
+	if floats.Exact(maxDiag, 0) { // all-zero matrix: any positive ridge scale works
 		maxDiag = 1
 	}
 	ridge := 0.0
@@ -178,7 +180,7 @@ func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
 		if l, err := Cholesky(work); err == nil {
 			return SolveChol(l, b), nil
 		}
-		if ridge == 0 {
+		if floats.Exact(ridge, 0) { // 0 is the assigned not-yet-regularized sentinel
 			ridge = maxDiag * 1e-12
 		} else {
 			ridge *= 100

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/sim"
 )
 
@@ -193,7 +194,7 @@ func (b *builder) bestSplitVar(idx []int, total float64) (int, float64, bool) {
 		sumL := 0.0
 		for i := 0; i < n-1; i++ {
 			sumL += b.y[order[i]]
-			if vals[i] == vals[i+1] {
+			if floats.Exact(vals[i], vals[i+1]) { // duplicate sort keys, copied not computed
 				continue
 			}
 			nl, nr := i+1, n-i-1
@@ -231,7 +232,7 @@ func (b *builder) bestSplitGrad(idx []int, G, H float64) (int, float64, bool) {
 		for i := 0; i < n-1; i++ {
 			gl += b.g[order[i]]
 			hl += b.h[order[i]]
-			if vals[i] == vals[i+1] {
+			if floats.Exact(vals[i], vals[i+1]) { // duplicate sort keys, copied not computed
 				continue
 			}
 			gr, hr := G-gl, H-hl

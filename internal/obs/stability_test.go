@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRegistryExportOrderStable proves the artifact-stability contract for
+// metrics: two registries fed the same series in different insertion orders
+// must export byte-identical JSON and text snapshots. Go map iteration would
+// break this if Snapshot did not sort by series key.
+func TestRegistryExportOrderStable(t *testing.T) {
+	type series struct {
+		kind   string
+		name   string
+		labels Labels
+		value  float64
+	}
+	all := []series{
+		{"counter", "bench_runs_total", Labels{"collective": "bcast", "machine": "clusterA"}, 12},
+		{"counter", "bench_runs_total", Labels{"collective": "allreduce", "machine": "clusterA"}, 7},
+		{"counter", "train_rows_total", nil, 4096},
+		{"gauge", "sim_seconds", Labels{"stage": "bench"}, 1.25},
+		{"gauge", "sim_seconds", Labels{"stage": "select"}, 0.5},
+		{"hist", "predict_latency_seconds", Labels{"learner": "knn"}, 3e-4},
+		{"hist", "predict_latency_seconds", Labels{"learner": "gam"}, 5e-4},
+	}
+	feed := func(r *Registry, order []int) {
+		for _, i := range order {
+			s := all[i]
+			switch s.kind {
+			case "counter":
+				r.Counter(s.name, s.labels).Add(int64(s.value))
+			case "gauge":
+				r.Gauge(s.name, s.labels).Set(s.value)
+			case "hist":
+				r.Histogram(s.name, s.labels).Observe(s.value)
+			}
+		}
+	}
+	export := func(r *Registry) (string, string) {
+		var j, x bytes.Buffer
+		if err := r.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteText(&x); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), x.String()
+	}
+
+	fwd := NewRegistry()
+	feed(fwd, []int{0, 1, 2, 3, 4, 5, 6})
+	rev := NewRegistry()
+	feed(rev, []int{6, 5, 4, 3, 2, 1, 0})
+
+	fj, ft := export(fwd)
+	rj, rt := export(rev)
+	if fj != rj {
+		t.Errorf("JSON export depends on registration order:\nforward:\n%s\nreverse:\n%s", fj, rj)
+	}
+	if ft != rt {
+		t.Errorf("text export depends on registration order:\nforward:\n%s\nreverse:\n%s", ft, rt)
+	}
+}
+
+// TestTraceExportOrderStable proves the artifact-stability contract for
+// traces: recording the same spans in a different order must produce
+// byte-identical trace JSON, because WriteJSON sorts spans by
+// (Ts, Pid, Tid, Name).
+func TestTraceExportOrderStable(t *testing.T) {
+	type span struct {
+		resource   string
+		node       int32
+		start, end float64
+	}
+	spans := []span{
+		{"nic", 0, 0, 1e-6},
+		{"nic", 1, 0, 1e-6},
+		{"membus", 0, 2e-6, 3e-6},
+		{"nic", 0, 5e-6, 6e-6},
+	}
+	render := func(order []int) string {
+		tr := NewTrace()
+		for _, i := range order {
+			s := spans[i]
+			tr.ResourceSpan(s.resource, s.node, s.start, s.end)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	fwd := render([]int{0, 1, 2, 3})
+	rev := render([]int{3, 2, 1, 0})
+	if fwd != rev {
+		t.Errorf("trace export depends on recording order:\nforward:\n%s\nreverse:\n%s", fwd, rev)
+	}
+}
+
+// TestTraceWriteJSONDoesNotReorderRecording checks WriteJSON sorts a copy:
+// rendering twice must give identical bytes and leave the recorded span
+// count untouched.
+func TestTraceWriteJSONDoesNotReorderRecording(t *testing.T) {
+	tr := NewTrace()
+	tr.ResourceSpan("nic", 1, 5e-6, 6e-6)
+	tr.ResourceSpan("nic", 0, 0, 1e-6)
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("rendering the same trace twice gave different bytes")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len() = %d after rendering, want 2", tr.Len())
+	}
+}

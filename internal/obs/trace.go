@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/sim"
 )
 
@@ -101,7 +102,11 @@ type traceFile struct {
 }
 
 // WriteJSON renders the trace. Metadata events naming every process and
-// thread are emitted first, then the spans in recording order.
+// thread are emitted first, then the spans sorted by (Ts, Pid, Tid, Name) —
+// a stable sort, so spans identical in all four keys keep recording order.
+// The output is therefore byte-identical for equivalent simulations even if
+// the engine's internal event interleaving changes (EXPERIMENTS.md relies on
+// this for artifact diffing).
 func (t *Trace) WriteJSON(w io.Writer) error {
 	meta := []traceEvent{
 		{Name: "process_name", Ph: "M", Pid: tracePidRanks, Args: map[string]any{"name": "ranks"}},
@@ -115,9 +120,24 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		meta = append(meta, traceEvent{Name: "thread_name", Ph: "M", Pid: tracePidNodes, Tid: n,
 			Args: map[string]any{"name": fmt.Sprintf("node %d", n)}})
 	}
+	spans := make([]traceEvent, len(t.events))
+	copy(spans, t.events)
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if !floats.Exact(a.Ts, b.Ts) {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(traceFile{TraceEvents: append(meta, t.events...), DisplayTimeUnit: "ms"})
+	return enc.Encode(traceFile{TraceEvents: append(meta, spans...), DisplayTimeUnit: "ms"})
 }
 
 func sortedKeys(set map[int32]bool) []int32 {
