@@ -1,0 +1,131 @@
+// Command mpicollserve runs the tuning service: it loads model snapshots
+// produced by `mpicolltune -save` and answers selection queries over
+// HTTP/JSON, with a sharded selection cache, atomic hot reload (SIGHUP or
+// POST /v1/reload), and graceful shutdown on SIGINT/SIGTERM.
+//
+// It doubles as the load-generation client (-loadgen) used by CI to
+// benchmark a running server and write BENCH_serve.json.
+//
+// Usage:
+//
+//	mpicollserve -models d1-gam.snap,d2-knn.snap -addr :8080
+//	mpicollserve -loadgen -url http://127.0.0.1:8080 -duration 10s -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpicollpred/internal/obs"
+	"mpicollpred/internal/serve"
+)
+
+func main() {
+	var (
+		models    = flag.String("models", "", "comma-separated model snapshot files to serve")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheSize = flag.Int("cache-size", 65536, "selection cache capacity in entries (<= -1 disables)")
+		shards    = flag.Int("cache-shards", 16, "selection cache shard count")
+		verbose   = flag.Bool("v", false, "verbose (debug) logging")
+		quiet     = flag.Bool("quiet", false, "suppress informational logging")
+
+		loadgen  = flag.Bool("loadgen", false, "run as a load-generation client instead of a server")
+		url      = flag.String("url", "http://127.0.0.1:8080", "loadgen: server base URL")
+		model    = flag.String("model", "", "loadgen: model name to query (empty works for single-model servers)")
+		duration = flag.Duration("duration", 5*time.Second, "loadgen: run length")
+		workers  = flag.Int("workers", 8, "loadgen: concurrent client goroutines")
+		seed     = flag.Uint64("seed", 1, "loadgen: instance-sequence seed")
+		out      = flag.String("out", "BENCH_serve.json", "loadgen: report file")
+	)
+	flag.Parse()
+	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
+
+	if *loadgen {
+		runLoadgen(log, serve.LoadgenOptions{
+			URL: strings.TrimRight(*url, "/"), Model: *model,
+			Duration: *duration, Workers: *workers, Seed: *seed,
+		}, *out)
+		return
+	}
+
+	if *models == "" {
+		fmt.Fprintln(os.Stderr, "mpicollserve: -models is required (snapshots from `mpicolltune -save`)")
+		os.Exit(2)
+	}
+	var paths []string
+	for _, p := range strings.Split(*models, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			paths = append(paths, p)
+		}
+	}
+
+	srv, err := serve.New(serve.Options{
+		SnapshotPaths: paths,
+		CacheSize:     *cacheSize,
+		CacheShards:   *shards,
+		Log:           log,
+	})
+	fail(err)
+	log.Infof("serving models %v (generation %d)", srv.Registry().Names(), srv.Registry().Gen())
+
+	l, err := net.Listen("tcp", *addr)
+	fail(err)
+	log.Infof("listening on http://%s", l.Addr())
+
+	// SIGHUP hot-reloads the snapshots; SIGINT/SIGTERM drain and exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				if err := srv.Reload(); err != nil {
+					log.Errorf("reload failed (previous models still serving): %v", err)
+				} else {
+					log.Infof("reloaded models %v (generation %d)", srv.Registry().Names(), srv.Registry().Gen())
+				}
+				continue
+			}
+			log.Infof("%s: draining and shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Errorf("shutdown: %v", err)
+			}
+			cancel()
+			return
+		}
+	}()
+
+	fail(srv.Serve(l))
+	log.Infof("bye")
+}
+
+func runLoadgen(log *obs.Logger, opts serve.LoadgenOptions, out string) {
+	log.Infof("loadgen: %d workers against %s for %s", opts.Workers, opts.URL, opts.Duration)
+	rep, err := serve.Loadgen(opts)
+	if rep.Requests > 0 {
+		log.Infof("loadgen: %d requests (%d cached, %d errors), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
+			rep.Requests, rep.CachedHits, rep.Errors, rep.QPS,
+			rep.LatencyP50Us, rep.LatencyP90Us, rep.LatencyP99Us)
+	}
+	if out != "" {
+		if werr := rep.WriteFile(out); werr != nil {
+			fail(werr)
+		}
+		log.Infof("loadgen: report -> %s", out)
+	}
+	fail(err)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpicollserve: %v\n", err)
+		os.Exit(1)
+	}
+}

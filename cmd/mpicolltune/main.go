@@ -2,13 +2,17 @@
 // per-configuration regression models on a benchmark dataset and answers
 // queries for unseen allocations — either as a one-off prediction or as a
 // tuning file for a SLURM-style job allocation (the paper's deployment
-// workflow).
+// workflow). Trained models can be persisted as snapshots (-save) and used
+// later without retraining (-load), which is also how mpicollserve gets its
+// models.
 //
 // Usage:
 //
 //	mpicolltune -dataset d1 -learner gam -nodes 27 -ppn 16 -msize 65536
 //	mpicolltune -dataset d1 -learner xgboost -nodes 34 -ppn 32 -tuning-file
 //	mpicolltune -dataset d2 -learner knn -nodes 27 -ppn 16 -msize 4096 -top 5
+//	mpicolltune -dataset d1 -learner gam -save models/d1-gam.snap
+//	mpicolltune -load models/d1-gam.snap -nodes 27 -ppn 16 -msize 65536
 package main
 
 import (
@@ -36,6 +40,8 @@ func main() {
 		top     = flag.Int("top", 1, "show the top-k predicted configurations")
 		tuning  = flag.Bool("tuning-file", false, "emit a tuning rules file over the standard message sizes")
 		train   = flag.String("train-nodes", "", "comma-separated training node counts (default: the machine's full Table III split)")
+		save    = flag.String("save", "", "write the trained model to this snapshot file")
+		load    = flag.String("load", "", "load a model snapshot instead of training (skips dataset generation)")
 		metrics = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
 		verbose = flag.Bool("v", false, "verbose (debug) logging")
 		quiet   = flag.Bool("quiet", false, "suppress informational logging")
@@ -43,35 +49,70 @@ func main() {
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
 
-	if *nodes <= 0 || *ppn <= 0 {
+	if *load != "" && *save != "" {
+		fmt.Fprintln(os.Stderr, "mpicolltune: -save and -load are mutually exclusive")
+		os.Exit(2)
+	}
+	wantQuery := *tuning || *msize > 0
+	if wantQuery && (*nodes <= 0 || *ppn <= 0) {
 		fmt.Fprintln(os.Stderr, "mpicolltune: -nodes and -ppn are required")
 		os.Exit(2)
 	}
-
-	prog := obs.NewProgress(log, "generating "+*dsName)
-	ds, err := dataset.LoadOrGenerate(*cache, *dsName, dataset.Scale(*scale), prog.Func())
-	fail(err)
-	prog.Finish()
-	_, set, err := ds.Spec.Resolve()
-	fail(err)
-
-	var trainNodes []int
-	if *train != "" {
-		for _, part := range strings.Split(*train, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			fail(err)
-			trainNodes = append(trainNodes, n)
-		}
-	} else {
-		split, err := eval.SplitFor(ds.Spec.Machine)
-		fail(err)
-		trainNodes = split.Full
+	if !wantQuery && *save == "" {
+		fmt.Fprintln(os.Stderr, "mpicolltune: provide -msize for a prediction, -tuning-file for a rules file, or -save for a snapshot")
+		os.Exit(2)
 	}
 
-	sel, err := core.Train(ds, set, *learner, trainNodes)
-	fail(err)
-	log.Infof("trained %s on %s (%d configurations, nodes %v) in %.3gs",
-		*learner, *dsName, len(sel.Configs()), trainNodes, sel.FitWall)
+	var (
+		sel    *core.Selector
+		coll   string
+		msizes []int64
+	)
+	if *load != "" {
+		var fp core.Fingerprint
+		var err error
+		sel, fp, err = core.LoadSnapshot(*load)
+		fail(err)
+		log.Infof("loaded snapshot %s: %s", *load, fp)
+		// The tuning-file message-size sweep comes from the snapshot's
+		// dataset spec; no benchmark data is generated or read.
+		spec, err := dataset.SpecByName(fp.Dataset, dataset.Scale(*scale))
+		fail(err)
+		coll, msizes = sel.Coll, spec.Msizes
+	} else {
+		prog := obs.NewProgress(log, "generating "+*dsName)
+		ds, err := dataset.LoadOrGenerate(*cache, *dsName, dataset.Scale(*scale), prog.Func())
+		fail(err)
+		prog.Finish()
+		mach, set, err := ds.Spec.Resolve()
+		fail(err)
+
+		var trainNodes []int
+		if *train != "" {
+			for _, part := range strings.Split(*train, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				fail(err)
+				trainNodes = append(trainNodes, n)
+			}
+		} else {
+			split, err := eval.SplitFor(ds.Spec.Machine)
+			fail(err)
+			trainNodes = split.Full
+		}
+
+		sel, err = core.Train(ds, set, *learner, trainNodes)
+		fail(err)
+		sel.SetFallback(mach, set)
+		log.Infof("trained %s on %s (%d configurations, nodes %v) in %.3gs",
+			*learner, *dsName, len(sel.Configs()), trainNodes, sel.FitWall)
+		coll, msizes = ds.Spec.Coll, ds.Spec.Msizes
+
+		if *save != "" {
+			fp := core.FingerprintFor(ds, *learner, trainNodes)
+			fail(sel.SaveSnapshot(*save, fp))
+			log.Infof("snapshot -> %s (%s)", *save, fp)
+		}
+	}
 	defer func() {
 		if *metrics != "" {
 			fail(obs.Default.DumpFile(*metrics))
@@ -79,13 +120,12 @@ func main() {
 		}
 	}()
 
-	if *tuning {
-		fmt.Print(sel.TuningFile(*nodes, *ppn, ds.Spec.Msizes))
+	if !wantQuery {
 		return
 	}
-	if *msize <= 0 {
-		fmt.Fprintln(os.Stderr, "mpicolltune: provide -msize for a prediction or -tuning-file for a rules file")
-		os.Exit(2)
+	if *tuning {
+		fmt.Print(sel.TuningFile(*nodes, *ppn, msizes))
+		return
 	}
 	preds := sel.PredictAll(*nodes, *ppn, *msize)
 	if *top < 1 {
@@ -94,7 +134,7 @@ func main() {
 	if *top > len(preds) {
 		*top = len(preds)
 	}
-	fmt.Printf("%s, %d x %d processes, %d bytes:\n", ds.Spec.Coll, *nodes, *ppn, *msize)
+	fmt.Printf("%s, %d x %d processes, %d bytes:\n", coll, *nodes, *ppn, *msize)
 	for i := 0; i < *top; i++ {
 		p := preds[i]
 		fmt.Printf("  %d. alg %-2d config %-3d %-32s predicted %.6gs\n",

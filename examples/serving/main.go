@@ -1,0 +1,125 @@
+// Serving: the deployment loop in miniature — train once, snapshot the
+// model, serve it as a long-lived tuning service, and query it like a
+// cluster scheduler would.
+//
+//  1. Benchmark a small grid and fit one model per configuration
+//     (the benchmark + tuning steps, as in examples/quickstart).
+//  2. Persist the trained selector as a snapshot file
+//     (what `mpicolltune -save` does).
+//  3. Boot the tuning service on the snapshot, in-process
+//     (what `mpicollserve -models` does).
+//  4. Ask it over HTTP which broadcast algorithm an unseen allocation
+//     should use — twice, to show the selection cache at work.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mpicollpred/internal/bench"
+	"mpicollpred/internal/core"
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/serve"
+)
+
+func main() {
+	// Benchmark + train (see examples/quickstart for the full story).
+	spec, err := dataset.SpecByName("d1", dataset.ScaleSmoke)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Nodes = []int{2, 4, 6, 8}
+	spec.PPNs = []int{1, 4}
+	spec.Msizes = []int64{16, 1024, 16384, 262144, 1048576}
+
+	fmt.Println("benchmarking and training (simulated Hydra, GAM learner)...")
+	ds, err := dataset.Generate(spec, bench.Options{MaxReps: 3, MaxTime: 1, SyncJitter: 3e-7}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach, set, err := spec.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainNodes := []int{2, 4, 8}
+	sel, err := core.Train(ds, set, "gam", trainNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel.SetFallback(mach, set)
+
+	// Snapshot it: from here on, nothing needs the dataset or a training
+	// pass — this file is all a serving process loads.
+	dir, err := os.MkdirTemp("", "mpicollserve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "d1-gam.snap")
+	fp := core.FingerprintFor(ds, "gam", trainNodes)
+	if err := sel.SaveSnapshot(snap, fp); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot -> %s (%d bytes)\n  %s\n\n", snap, st.Size(), fp)
+
+	// Boot the tuning service on the snapshot.
+	srv, err := serve.New(serve.Options{SnapshotPaths: []string{snap}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	fmt.Printf("tuning service up on %s\n\n", base)
+
+	// Query it like a scheduler: an allocation of 6 nodes (never in the
+	// training split) about to broadcast 64 KiB.
+	url := base + "/v1/select?nodes=6&ppn=4&msize=65536"
+	for i := 1; i <= 2; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dec serve.SelectResponse
+		if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+			log.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			log.Fatal(err)
+		}
+		pred := "library default (guardrail fallback)"
+		if dec.PredictedSeconds != nil {
+			pred = fmt.Sprintf("predicted %.3gs", *dec.PredictedSeconds)
+		}
+		fmt.Printf("query %d: %s -> use %q (config %d, %s, cached=%v)\n",
+			i, url, dec.Label, dec.ConfigID, pred, dec.Cached)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe second query is a cache hit: the service remembers answered")
+	fmt.Println("selections per (model, nodes, ppn, msize) until the next hot reload.")
+}

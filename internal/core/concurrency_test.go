@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSelect hammers one trained selector from many goroutines —
+// Select, PredictAll, and the guardrail accessors — and is meaningful under
+// -race (the CI test job runs with it): the serving layer queries a shared
+// Selector from concurrent HTTP handlers.
+func TestConcurrentSelect(t *testing.T) {
+	ds, set := testDataset(t)
+	mach, _, err := ds.Spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Train(ds, set, "knn", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.SetFallback(mach, set)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				nodes := 2 + (w+i)%4
+				msize := int64(16 << (i % 12))
+				p := sel.Select(nodes, 4, msize)
+				if !p.Fallback && p.ConfigID < 1 {
+					t.Errorf("invalid config %d", p.ConfigID)
+					return
+				}
+				if i%10 == 0 {
+					preds := sel.PredictAll(nodes, 4, msize)
+					if len(preds) != len(sel.Configs()) {
+						t.Errorf("PredictAll returned %d predictions", len(preds))
+						return
+					}
+					_ = sel.Fallbacks()
+					_ = sel.Quarantined()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// panicEveryOther panics on every second Predict call, driving the
+// predict-time quarantine path from concurrent callers.
+type panicEveryOther struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *panicEveryOther) Fit(x [][]float64, y []float64) error { return nil }
+func (p *panicEveryOther) Predict(x []float64) float64 {
+	p.mu.Lock()
+	p.n++
+	n := p.n
+	p.mu.Unlock()
+	if n%2 == 0 {
+		panic("deliberate test panic") //mpicollvet:ignore panicguard test fake exercising the recovered quarantine path
+	}
+	return 1e-5
+}
+
+// TestConcurrentQuarantine replaces one model with a panicking fake and
+// queries concurrently: exactly the racy combination the mutex exists for —
+// some goroutines read the model map while a panicked one deletes from it.
+func TestConcurrentQuarantine(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "knn", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sel.Configs()[0].ID
+	sel.mu.Lock()
+	sel.models[victim] = &panicEveryOther{}
+	sel.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sel.Select(3, 4, 1024)
+				sel.Quarantined()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if reason, ok := sel.Quarantined()[victim]; !ok {
+		t.Fatal("panicking model was never quarantined")
+	} else if reason == "" {
+		t.Fatal("quarantine reason empty")
+	}
+	// The quarantined model must be out of the selection pool for good.
+	p := sel.Select(3, 4, 1024)
+	if p.ConfigID == victim {
+		t.Fatalf("quarantined config %d still selected", victim)
+	}
+}

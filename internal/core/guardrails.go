@@ -129,11 +129,13 @@ func (s *Selector) guarded() bool { return s.fbSet != nil }
 
 // Fallbacks returns how many Select calls were answered by the library's
 // default decision logic instead of the models.
-func (s *Selector) Fallbacks() int { return s.fallbacks }
+func (s *Selector) Fallbacks() int { return int(s.fallbacks.Load()) }
 
 // Quarantined returns the configuration ids whose model was removed after a
 // learner panic, with the recorded reason.
 func (s *Selector) Quarantined() map[int]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[int]string, len(s.quarantined))
 	for id, reason := range s.quarantined {
 		out[id] = reason
@@ -145,12 +147,15 @@ func (s *Selector) Quarantined() map[int]string {
 func (s *Selector) Envelope() Envelope { return s.envelope }
 
 // quarantine removes a model from selection permanently and books the event.
+// Safe to call from concurrent Select paths.
 func (s *Selector) quarantine(id int, stage, reason string) {
+	s.mu.Lock()
 	delete(s.models, id)
 	if s.quarantined == nil {
 		s.quarantined = map[int]string{}
 	}
 	s.quarantined[id] = stage + ": " + reason
+	s.mu.Unlock()
 	obs.Default.Counter("core_model_quarantined_total",
 		obs.Labels{"learner": s.Learner, "stage": stage}).Inc()
 }
@@ -172,9 +177,13 @@ var errLearnerPanic = fmt.Errorf("core: learner panicked")
 
 // safePredict queries one model with panic recovery. A missing (quarantined)
 // model yields NaN; a panicking model is quarantined on the spot and also
-// yields NaN, which every selection path already skips.
+// yields NaN, which every selection path already skips. The model pointer is
+// read under RLock but Predict runs unlocked — learners are immutable after
+// Fit, and quarantine (re)takes the write lock itself.
 func (s *Selector) safePredict(id int, f []float64) (t float64) {
+	s.mu.RLock()
 	m, ok := s.models[id]
+	s.mu.RUnlock()
 	if !ok {
 		return math.NaN()
 	}
@@ -187,9 +196,17 @@ func (s *Selector) safePredict(id int, f []float64) (t float64) {
 	return m.Predict(f)
 }
 
+// hasModel reports whether a healthy (non-quarantined) model exists for id.
+func (s *Selector) hasModel(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.models[id]
+	return ok
+}
+
 // fallback answers a Select call with the library's default decision logic.
 func (s *Selector) fallback(nodes, ppn int, msize int64, reason string) Prediction {
-	s.fallbacks++
+	s.fallbacks.Add(1)
 	obs.Default.Counter("core_select_fallback_total",
 		obs.Labels{"learner": s.Learner, "reason": reason}).Inc()
 	p := Prediction{ConfigID: mpilib.DefaultID, Label: "library-default",

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpicollpred/internal/dataset"
@@ -55,6 +57,12 @@ type Prediction struct {
 
 // Selector is a trained algorithm selection model for one collective on one
 // machine/library pair.
+//
+// Once trained (and optionally armed via SetFallback), a Selector is safe
+// for concurrent callers: Select, SelectFeatures, PredictAll and the
+// guardrail accessors may race freely. The only post-training mutation is
+// quarantining a model whose learner panics at prediction time, which is
+// serialized behind mu.
 type Selector struct {
 	Coll    string
 	Learner string
@@ -67,16 +75,20 @@ type Selector struct {
 	PlausibilitySlack float64
 
 	configs    []mpilib.Config
-	models     map[int]ml.Regressor
 	selectHist *obs.Histogram
 
-	// Guardrail state (see guardrails.go).
-	envelopes   map[int]Envelope
-	envelope    Envelope
+	// mu guards models and quarantined — the only state a concurrent
+	// Select can mutate (predict-time quarantine of a panicking model).
+	mu          sync.RWMutex
+	models      map[int]ml.Regressor
 	quarantined map[int]string
-	fallbacks   int
-	fbMach      machine.Machine
-	fbSet       *mpilib.CollectiveSet
+
+	// Guardrail state (see guardrails.go); immutable after Train/SetFallback.
+	envelopes map[int]Envelope
+	envelope  Envelope
+	fallbacks atomic.Int64
+	fbMach    machine.Machine
+	fbSet     *mpilib.CollectiveSet
 }
 
 // Train fits one regression model per selectable configuration using the
@@ -157,7 +169,7 @@ func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 	out := make([]Prediction, 0, len(s.configs))
 	for _, cfg := range s.configs {
 		t := s.safePredict(cfg.ID, f)
-		if _, ok := s.models[cfg.ID]; !ok {
+		if !s.hasModel(cfg.ID) {
 			t = math.Inf(1)
 		}
 		out = append(out, Prediction{

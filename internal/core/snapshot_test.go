@@ -1,0 +1,168 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpicollpred/internal/floats"
+	"mpicollpred/internal/snapshot"
+)
+
+// TestSnapshotRoundTripAllLearners is the acceptance test of the
+// persistence layer: for every registered learner, a save → load round trip
+// must reproduce the in-memory selector's predictions bit-identically on the
+// full grid — training cells, held-out node counts, and held-out message
+// sizes alike.
+func TestSnapshotRoundTripAllLearners(t *testing.T) {
+	ds, set := testDataset(t)
+	mach, _, err := ds.Spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainNodes := []int{2, 4, 6}
+	// The five real learners, spelled out rather than ml.Names(): other
+	// tests in this package register panicking fakes in the shared registry.
+	for _, learner := range []string{"knn", "gam", "xgboost", "rf", "linear"} {
+		sel, err := Train(ds, set, learner, trainNodes)
+		if err != nil {
+			t.Fatalf("%s: %v", learner, err)
+		}
+		// Arm the in-memory selector like a loaded one: LoadSnapshot always
+		// re-arms the guardrail fallback, so the comparison must too.
+		sel.SetFallback(mach, set)
+
+		fp := FingerprintFor(ds, learner, trainNodes)
+		path := filepath.Join(t.TempDir(), learner+".snap")
+		if err := sel.SaveSnapshot(path, fp); err != nil {
+			t.Fatalf("%s: save: %v", learner, err)
+		}
+		got, gotFP, err := LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", learner, err)
+		}
+		if gotFP.String() != fp.String() {
+			t.Errorf("%s: fingerprint %s, want %s", learner, gotFP, fp)
+		}
+		if got.Coll != sel.Coll || got.Learner != sel.Learner {
+			t.Errorf("%s: identity %s/%s, want %s/%s", learner, got.Coll, got.Learner, sel.Coll, sel.Learner)
+		}
+
+		// The full grid plus extrapolating points beyond it.
+		nodes := append(append([]int(nil), ds.Spec.Nodes...), 9, 40)
+		msizes := append(append([]int64(nil), ds.Spec.Msizes...), 3, 1<<23)
+		for _, n := range nodes {
+			for _, ppn := range ds.Spec.PPNs {
+				for _, m := range msizes {
+					want := sel.PredictAll(n, ppn, m)
+					have := got.PredictAll(n, ppn, m)
+					if len(want) != len(have) {
+						t.Fatalf("%s: %d/%d/%d: %d vs %d predictions", learner, n, ppn, m, len(want), len(have))
+					}
+					for i := range want {
+						if want[i].ConfigID != have[i].ConfigID ||
+							!floats.Exact(want[i].Predicted, have[i].Predicted) {
+							t.Fatalf("%s: %d/%d/%d: prediction %d = (%d, %v), want (%d, %v)",
+								learner, n, ppn, m, i,
+								have[i].ConfigID, have[i].Predicted,
+								want[i].ConfigID, want[i].Predicted)
+						}
+					}
+					w, h := sel.Select(n, ppn, m), got.Select(n, ppn, m)
+					if w.ConfigID != h.ConfigID || w.Fallback != h.Fallback ||
+						w.FallbackReason != h.FallbackReason ||
+						!(floats.Exact(w.Predicted, h.Predicted) ||
+							(w.Predicted != w.Predicted && h.Predicted != h.Predicted)) {
+						t.Fatalf("%s: %d/%d/%d: Select = %+v, want %+v", learner, n, ppn, m, h, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "knn", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FingerprintFor(ds, "knn", []int{2, 4, 6})
+	a, err := sel.Snapshot(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sel.Snapshot(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two snapshots of the same selector differ")
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "linear", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sel.Snapshot(FingerprintFor(ds, "linear", []int{2, 4, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := DecodeSnapshot(data[:len(data)/2]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-3] ^= 0x01
+	if _, _, err := DecodeSnapshot(flipped); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+	versioned := append([]byte(nil), data...)
+	versioned[len(snapshot.Magic)] = 0xFE
+	if _, _, err := DecodeSnapshot(versioned); err == nil {
+		t.Error("version-mismatched snapshot accepted")
+	}
+	if _, _, err := DecodeSnapshot([]byte("not a snapshot at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.snap")
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(path); err == nil {
+		t.Error("LoadSnapshot accepted a corrupt file")
+	}
+	if _, _, err := LoadSnapshot(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Error("LoadSnapshot accepted a missing file")
+	}
+}
+
+func TestSnapshotPersistsQuarantine(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "knn", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sel.Configs()[1].ID
+	sel.quarantine(victim, "predict", "induced for the snapshot test")
+
+	data, err := sel.Snapshot(FingerprintFor(ds, "knn", []int{2, 4, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := got.Quarantined()[victim]; !ok || reason == "" {
+		t.Fatalf("quarantine record lost: %v", got.Quarantined())
+	}
+	if got.Select(3, 4, 1024).ConfigID == victim {
+		t.Fatal("restored selector picked the quarantined configuration")
+	}
+}

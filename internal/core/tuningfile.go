@@ -25,8 +25,14 @@ func (s *Selector) TuningFile(nodes, ppn int, msizes []int64) string {
 	fmt.Fprintf(&b, "comm-size %d\n", nodes*ppn)
 	for _, m := range sorted {
 		pred := s.Select(nodes, ppn, m)
-		fmt.Fprintf(&b, "msg-size %d alg %d config %d  # %s, predicted %.3gs\n",
-			m, pred.AlgID, pred.ConfigID, pred.Label, pred.Predicted)
+		note := fmt.Sprintf("predicted %.3gs", pred.Predicted)
+		if pred.Fallback {
+			// The guardrails rejected the models' answer (no finite
+			// prediction exists); the rule is the library default.
+			note = "library default, guardrail " + pred.FallbackReason
+		}
+		fmt.Fprintf(&b, "msg-size %d alg %d config %d  # %s, %s\n",
+			m, pred.AlgID, pred.ConfigID, pred.Label, note)
 	}
 	return b.String()
 }

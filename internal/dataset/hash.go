@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Hash fingerprints the dataset's measured content: the spec identity and
+// every sample's key fields and time, in sample order. Two datasets hash
+// equal iff training on them is indistinguishable, which is what model
+// snapshots record — a snapshot trained on one cache can be told apart from
+// one trained on a regenerated or fault-injected variant.
+func (d *Dataset) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:]) // hash.Hash never fails
+	}
+	_, _ = h.Write([]byte(d.Spec.Name + "|" + d.Spec.Lib + "|" + d.Spec.Version + "|" +
+		d.Spec.Coll + "|" + d.Spec.Machine))
+	writeU64(uint64(len(d.Samples)))
+	for _, s := range d.Samples {
+		writeU64(uint64(s.ConfigID))
+		writeU64(uint64(s.Nodes))
+		writeU64(uint64(s.PPN))
+		writeU64(uint64(s.Msize))
+		writeU64(math.Float64bits(s.Time))
+	}
+	return h.Sum64()
+}

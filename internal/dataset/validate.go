@@ -44,8 +44,34 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// MaxPlausibleProcs bounds nodes × ppn for an instance to be considered a
+// real allocation rather than garbage input: an order of magnitude above
+// the largest machines the paper benchmarks, and far below anything that
+// overflows downstream arithmetic.
+const MaxPlausibleProcs = 1 << 22
+
+// CheckInstance validates the (nodes, ppn, msize) triple of a problem
+// instance — the plausibility subset of the per-sample checks, shared with
+// the serving layer's request validation so a tuning request is vetted by
+// exactly the rules that keep benchmark rows out of training.
+func CheckInstance(nodes, ppn int, msize int64) error {
+	switch {
+	case nodes < 1 || ppn < 1:
+		return fmt.Errorf("impossible allocation %dx%d", nodes, ppn)
+	case msize < 1:
+		return fmt.Errorf("message size %d < 1", msize)
+	case nodes > MaxPlausibleProcs || ppn > MaxPlausibleProcs ||
+		nodes*ppn > MaxPlausibleProcs:
+		return fmt.Errorf("implausible allocation %dx%d (max %d processes)", nodes, ppn, MaxPlausibleProcs)
+	}
+	return nil
+}
+
 // checkSample returns the reason a sample is unusable, or "".
 func checkSample(s Sample) string {
+	if err := CheckInstance(s.Nodes, s.PPN, s.Msize); err != nil {
+		return err.Error()
+	}
 	switch {
 	case math.IsNaN(s.Time) || math.IsInf(s.Time, 0):
 		return fmt.Sprintf("non-finite time %v", s.Time)
@@ -53,10 +79,6 @@ func checkSample(s Sample) string {
 		return fmt.Sprintf("non-positive time %v", s.Time)
 	case s.Reps < 1:
 		return fmt.Sprintf("reps %d < 1", s.Reps)
-	case s.Nodes < 1 || s.PPN < 1:
-		return fmt.Sprintf("impossible allocation %dx%d", s.Nodes, s.PPN)
-	case s.Msize < 1:
-		return fmt.Sprintf("message size %d < 1", s.Msize)
 	case s.ConfigID < 1:
 		return fmt.Sprintf("config id %d < 1", s.ConfigID)
 	case math.IsNaN(s.Consumed) || s.Consumed < 0:

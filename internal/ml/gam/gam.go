@@ -62,6 +62,48 @@ func NewWith(opts Options) *Regressor {
 	return &Regressor{opts: opts}
 }
 
+// State is the exported fitted-model state, used by the snapshot codec: the
+// spline coefficients plus the clamping ranges and options Predict needs to
+// rebuild the exact design row.
+type State struct {
+	Opts   Options
+	Lo, Hi []float64
+	Active []bool
+	Beta   []float64
+	Lambda float64
+	EDF    float64
+}
+
+// State exports the fitted model.
+func (r *Regressor) State() State {
+	return State{Opts: r.opts, Lo: r.lo, Hi: r.hi, Active: r.active,
+		Beta: r.beta, Lambda: r.lambda, EDF: r.edf}
+}
+
+// FromState rebuilds a fitted model, validating that the coefficient vector
+// matches the basis layout implied by the options and active features.
+func FromState(s State) (*Regressor, error) {
+	d := len(s.Lo)
+	if len(s.Hi) != d || len(s.Active) != d {
+		return nil, fmt.Errorf("gam: snapshot ranges disagree: %d lo, %d hi, %d active",
+			d, len(s.Hi), len(s.Active))
+	}
+	if s.Opts.NumBasis < 4 {
+		return nil, fmt.Errorf("gam: snapshot basis size %d < 4", s.Opts.NumBasis)
+	}
+	cols := 1
+	for _, act := range s.Active {
+		if act {
+			cols += s.Opts.NumBasis
+		}
+	}
+	if len(s.Beta) != cols {
+		return nil, fmt.Errorf("gam: snapshot has %d coefficients, layout needs %d", len(s.Beta), cols)
+	}
+	return &Regressor{opts: s.Opts, lo: s.Lo, hi: s.Hi, active: s.Active,
+		beta: s.Beta, lambda: s.Lambda, edf: s.EDF}, nil
+}
+
 // Lambda returns the GCV-selected smoothing parameter.
 func (r *Regressor) Lambda() float64 { return r.lambda }
 

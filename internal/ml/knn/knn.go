@@ -32,6 +32,42 @@ func NewK(k int) *Regressor {
 	return &Regressor{k: k}
 }
 
+// State is the exported fitted-model state, used by the snapshot codec.
+// X holds the z-scaled training rows exactly as Predict consumes them, so a
+// restored model computes bit-identical distances.
+type State struct {
+	K           int
+	Mean, Scale []float64
+	X           [][]float64
+	Y           []float64
+}
+
+// State exports the fitted model.
+func (r *Regressor) State() State {
+	return State{K: r.k, Mean: r.mean, Scale: r.scale, X: r.x, Y: r.y}
+}
+
+// FromState rebuilds a fitted model, validating the shapes so a corrupted
+// snapshot cannot index out of bounds at prediction time.
+func FromState(s State) (*Regressor, error) {
+	if s.K < 1 {
+		return nil, fmt.Errorf("knn: snapshot k = %d", s.K)
+	}
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return nil, fmt.Errorf("knn: snapshot has %d rows but %d targets", len(s.X), len(s.Y))
+	}
+	d := len(s.Mean)
+	if len(s.Scale) != d {
+		return nil, fmt.Errorf("knn: snapshot has %d means but %d scales", d, len(s.Scale))
+	}
+	for i, row := range s.X {
+		if len(row) != d {
+			return nil, fmt.Errorf("knn: snapshot row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	return &Regressor{k: s.K, mean: s.Mean, scale: s.Scale, x: s.X, y: s.Y}, nil
+}
+
 // Fit stores the (scaled) training set.
 func (r *Regressor) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {

@@ -19,6 +19,22 @@ type Regressor struct {
 // New returns an OLS regressor.
 func New() *Regressor { return &Regressor{} }
 
+// State is the exported fitted-model state, used by the snapshot codec.
+type State struct {
+	Beta []float64
+}
+
+// State exports the fitted model.
+func (r *Regressor) State() State { return State{Beta: r.beta} }
+
+// FromState rebuilds a fitted model.
+func FromState(s State) (*Regressor, error) {
+	if len(s.Beta) < 1 {
+		return nil, fmt.Errorf("linreg: snapshot has no coefficients")
+	}
+	return &Regressor{beta: s.Beta}, nil
+}
+
 // Fit solves the normal equations for log(y) ~ 1 + x.
 func (r *Regressor) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {

@@ -29,3 +29,17 @@ func (v validated) Fit(x [][]float64, y []float64) error {
 	}
 	return v.Regressor.Fit(x, y)
 }
+
+// Unwrap strips the registry's validation wrapper, exposing the concrete
+// learner underneath — the snapshot codec type-switches on it.
+func Unwrap(r Regressor) Regressor {
+	if v, ok := r.(validated); ok {
+		return v.Regressor
+	}
+	return r
+}
+
+// Validated wraps a learner with the shared input validation, the same
+// wrapper New applies; the snapshot codec re-wraps decoded learners so
+// restored and freshly trained models behave identically.
+func Validated(r Regressor) Regressor { return validated{r} }

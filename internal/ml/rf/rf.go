@@ -45,6 +45,35 @@ func NewWith(opts Options) *Regressor {
 	return &Regressor{opts: opts}
 }
 
+// State is the exported fitted-forest state, used by the snapshot codec.
+type State struct {
+	Opts  Options
+	Trees [][]tree.Node
+}
+
+// State exports the fitted forest.
+func (r *Regressor) State() State {
+	s := State{Opts: r.opts, Trees: make([][]tree.Node, len(r.trees))}
+	for i, t := range r.trees {
+		s.Trees[i] = t.State()
+	}
+	return s
+}
+
+// FromState rebuilds a fitted forest; tree.FromState validates every tree's
+// structure.
+func FromState(s State) (*Regressor, error) {
+	r := &Regressor{opts: s.Opts, trees: make([]*tree.Tree, len(s.Trees))}
+	for i, nodes := range s.Trees {
+		t, err := tree.FromState(nodes)
+		if err != nil {
+			return nil, fmt.Errorf("rf: snapshot tree %d: %w", i, err)
+		}
+		r.trees[i] = t
+	}
+	return r, nil
+}
+
 // Fit trains the forest on log targets (bagging + feature subsampling).
 func (r *Regressor) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {

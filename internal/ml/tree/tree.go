@@ -5,6 +5,7 @@
 package tree
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -57,6 +58,51 @@ func (t *Tree) Predict(x []float64) float64 {
 
 // NumNodes returns the number of nodes, a rough model-complexity measure.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Node is the exported form of one tree node, used by the snapshot codec.
+// Feature < 0 marks a leaf carrying Value; an internal node routes
+// x[Feature] <= Thresh to Left, else Right.
+type Node struct {
+	Feature int32
+	Thresh  float64
+	Left    int32
+	Right   int32
+	Value   float64
+}
+
+// State exports the fitted tree as a flat node list in preorder (the order
+// grow appended them), suitable for serialization.
+func (t *Tree) State() []Node {
+	out := make([]Node, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = Node{Feature: int32(n.feature), Thresh: n.thresh,
+			Left: n.left, Right: n.right, Value: n.value}
+	}
+	return out
+}
+
+// FromState rebuilds a tree from an exported node list, validating the
+// structural invariants the builder guarantees — both children of an
+// internal node point strictly forward and stay in range — so a corrupted
+// snapshot can never make Predict loop forever or index out of bounds.
+func FromState(nodes []Node) (*Tree, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("tree: empty node list")
+	}
+	out := make([]node, len(nodes))
+	for i, n := range nodes {
+		if n.Feature >= 0 {
+			if int(n.Left) <= i || int(n.Left) >= len(nodes) ||
+				int(n.Right) <= i || int(n.Right) >= len(nodes) {
+				return nil, fmt.Errorf("tree: node %d has out-of-order children (%d, %d) of %d nodes",
+					i, n.Left, n.Right, len(nodes))
+			}
+		}
+		out[i] = node{feature: int(n.Feature), thresh: n.Thresh,
+			left: n.Left, right: n.Right, value: n.Value}
+	}
+	return &Tree{nodes: out}, nil
+}
 
 // builder carries the growth state.
 type builder struct {

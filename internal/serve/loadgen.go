@@ -1,0 +1,201 @@
+// The load generator: a client-side benchmark for a running mpicollserve
+// instance. Workers replay a bounded pool of instances (so the server's
+// selection cache gets realistic re-use), and the run is summarized as
+// QPS + latency quantiles in a JSON report (BENCH_serve.json in CI).
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpicollpred/internal/sim"
+)
+
+// LoadgenOptions configures a load-generation run.
+type LoadgenOptions struct {
+	// URL is the server base URL (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Model names the model to query ("" works for single-model servers).
+	Model string
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Workers is the number of concurrent client goroutines (default 8).
+	Workers int
+	// Seed keys the deterministic instance sequence.
+	Seed uint64
+	// Nodes/PPNs/Msizes form the instance pool workers draw from. The pool
+	// is deliberately small: real tuning traffic repeats the same instances,
+	// which is what the selection cache exists for.
+	Nodes  []int
+	PPNs   []int
+	Msizes []int64
+}
+
+// LoadgenReport summarizes a run; it is what BENCH_serve.json holds.
+type LoadgenReport struct {
+	URL             string  `json:"url"`
+	Model           string  `json:"model"`
+	Workers         int     `json:"workers"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	CachedHits      int64   `json:"cached_hits"`
+	QPS             float64 `json:"qps"`
+	LatencyP50Us    float64 `json:"latency_p50_us"`
+	LatencyP90Us    float64 `json:"latency_p90_us"`
+	LatencyP99Us    float64 `json:"latency_p99_us"`
+	LatencyMaxUs    float64 `json:"latency_max_us"`
+}
+
+func (o *LoadgenOptions) defaults() {
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{2, 4, 8, 16}
+	}
+	if len(o.PPNs) == 0 {
+		o.PPNs = []int{4, 8}
+	}
+	if len(o.Msizes) == 0 {
+		o.Msizes = []int64{64, 1024, 16384, 262144}
+	}
+}
+
+// loadgenWorker is one client goroutine's tally.
+type loadgenWorker struct {
+	requests  int64
+	errors    int64
+	cached    int64
+	latencies []float64 // seconds
+}
+
+// Loadgen runs the load generator against a live server and returns the
+// aggregated report. Transport or non-200 responses count as errors; the
+// first of them is also returned as a sample so smoke tests fail loudly
+// rather than reporting a run that was 100% errors.
+func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
+	opts.defaults()
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Workers * 2,
+			MaxIdleConnsPerHost: opts.Workers * 2,
+		},
+		Timeout: 10 * time.Second,
+	}
+	defer client.CloseIdleConnections()
+
+	deadline := time.Now().Add(opts.Duration)
+	workers := make([]loadgenWorker, opts.Workers)
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for wi := 0; wi < opts.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := &workers[wi]
+			rng := sim.NewRNG(sim.Seed(opts.Seed, uint64(wi)))
+			for time.Now().Before(deadline) {
+				n := opts.Nodes[rng.Intn(len(opts.Nodes))]
+				ppn := opts.PPNs[rng.Intn(len(opts.PPNs))]
+				m := opts.Msizes[rng.Intn(len(opts.Msizes))]
+				url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
+					opts.URL, opts.Model, n, ppn, m)
+				t0 := time.Now()
+				cached, err := doSelect(client, url)
+				w.latencies = append(w.latencies, time.Since(t0).Seconds())
+				w.requests++
+				if err != nil {
+					w.errors++
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
+					continue
+				}
+				if cached {
+					w.cached++
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	rep := LoadgenReport{URL: opts.URL, Model: opts.Model, Workers: opts.Workers,
+		DurationSeconds: opts.Duration.Seconds()}
+	var all []float64
+	for i := range workers {
+		rep.Requests += workers[i].requests
+		rep.Errors += workers[i].errors
+		rep.CachedHits += workers[i].cached
+		all = append(all, workers[i].latencies...)
+	}
+	if rep.DurationSeconds > 0 {
+		rep.QPS = float64(rep.Requests) / rep.DurationSeconds
+	}
+	sort.Float64s(all)
+	rep.LatencyP50Us = quantileUs(all, 0.50)
+	rep.LatencyP90Us = quantileUs(all, 0.90)
+	rep.LatencyP99Us = quantileUs(all, 0.99)
+	if len(all) > 0 {
+		rep.LatencyMaxUs = all[len(all)-1] * 1e6
+	}
+	if p := firstErr.Load(); p != nil {
+		return rep, fmt.Errorf("serve: loadgen saw %d errors, first: %w", rep.Errors, *p)
+	}
+	return rep, nil
+}
+
+// doSelect issues one /v1/select and reports whether the answer was cached.
+func doSelect(client *http.Client, url string) (bool, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return false, err
+	}
+	return sr.Cached, nil
+}
+
+// quantileUs returns the q-th quantile of sorted seconds, in microseconds.
+func quantileUs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i] * 1e6
+}
+
+// WriteFile writes the report as indented JSON, atomically.
+func (r LoadgenReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

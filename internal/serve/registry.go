@@ -1,0 +1,124 @@
+// The model registry: named trained selectors loaded from snapshot files,
+// swapped atomically on reload. Request handlers grab the current model set
+// with a single atomic pointer load and keep using it for the whole
+// request, so a concurrent reload never changes a request's world
+// mid-flight and zero in-flight requests fail during a swap.
+
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpicollpred/internal/core"
+	"mpicollpred/internal/obs"
+)
+
+// Model is one servable selector.
+type Model struct {
+	// Name is the registry key, <dataset>-<learner> for snapshot-loaded
+	// models (e.g. "d1-gam").
+	Name string
+	Sel  *core.Selector
+	Fp   core.Fingerprint
+	// Path is the snapshot file the model came from ("" when installed
+	// in-process).
+	Path string
+}
+
+// modelSet is one immutable generation of loaded models.
+type modelSet struct {
+	gen    uint64
+	byName map[string]*Model
+	names  []string // sorted
+}
+
+// Registry holds the servable models behind an atomic pointer.
+type Registry struct {
+	cur atomic.Pointer[modelSet]
+	// reloadMu serializes writers (Load/Install); readers never take it.
+	reloadMu sync.Mutex
+}
+
+// NewRegistry returns an empty registry at generation zero.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.cur.Store(&modelSet{byName: map[string]*Model{}})
+	return r
+}
+
+// ModelName is the registry key snapshots are served under.
+func ModelName(fp core.Fingerprint) string { return fp.Dataset + "-" + fp.Learner }
+
+// Load reads every snapshot path, builds the next model set, and swaps it
+// in atomically. On any error the registry is left untouched — a serving
+// process keeps answering from the previous generation, which is exactly
+// what a production hot reload must do.
+func (r *Registry) Load(paths []string) error {
+	models := make([]*Model, 0, len(paths))
+	for _, p := range paths {
+		sel, fp, err := core.LoadSnapshot(p)
+		if err != nil {
+			return err
+		}
+		models = append(models, &Model{Name: ModelName(fp), Sel: sel, Fp: fp, Path: p})
+	}
+	return r.Install(models...)
+}
+
+// Install swaps in a new generation holding exactly the given models.
+// Duplicate names are an error.
+func (r *Registry) Install(models ...*Model) error {
+	byName := make(map[string]*Model, len(models))
+	names := make([]string, 0, len(models))
+	for _, m := range models {
+		if m.Name == "" {
+			return fmt.Errorf("serve: model with empty name (snapshot %q)", m.Path)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return fmt.Errorf("serve: duplicate model name %q", m.Name)
+		}
+		byName[m.Name] = m
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+
+	r.reloadMu.Lock()
+	next := &modelSet{gen: r.cur.Load().gen + 1, byName: byName, names: names}
+	r.cur.Store(next)
+	r.reloadMu.Unlock()
+
+	obs.Default.Counter("serve_reload_total", nil).Inc()
+	obs.Default.Gauge("serve_models_loaded", nil).Set(float64(len(models)))
+	return nil
+}
+
+// view captures the current generation for one request.
+func (r *Registry) view() *modelSet { return r.cur.Load() }
+
+// Gen returns the current registry generation (bumped on every swap).
+func (r *Registry) Gen() uint64 { return r.view().gen }
+
+// Names lists the servable model names, sorted.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.view().names...)
+}
+
+// Get resolves a model by name within a captured set. An empty name picks
+// the only loaded model, which keeps single-model deployments (the common
+// case) free of client-side configuration.
+func (s *modelSet) get(name string) (*Model, error) {
+	if name == "" {
+		if len(s.names) == 1 {
+			return s.byName[s.names[0]], nil
+		}
+		return nil, fmt.Errorf("serve: %d models loaded %v; the request must name one", len(s.names), s.names)
+	}
+	m, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q (have %v)", name, s.names)
+	}
+	return m, nil
+}

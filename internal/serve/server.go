@@ -1,0 +1,454 @@
+// Package serve is the tuning service of the framework: the paper's
+// deployment story (§V) — "which algorithm for (coll, n, ppn, m)?" at
+// allocation time — run as a long-lived process. Trained selectors are
+// loaded from model snapshots into a hot-reloadable registry, answered
+// selections are memoized in a sharded LRU cache, and every endpoint
+// reports latency and traffic into the observability registry.
+//
+// Endpoints:
+//
+//	GET/POST /v1/select   one tuning decision for an instance
+//	GET/POST /v1/predict  every configuration's predicted time, ranked
+//	POST     /v1/batch    many decisions in one round trip
+//	POST     /v1/reload   reload snapshots from disk (also SIGHUP)
+//	GET      /healthz     liveness + loaded-model inventory
+//	GET      /metrics     obs registry snapshot (text, ?format=json)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpicollpred/internal/core"
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// SnapshotPaths are the model snapshots served; Reload re-reads them.
+	SnapshotPaths []string
+	// CacheSize is the selection-cache capacity in entries (default 65536;
+	// negative disables caching).
+	CacheSize int
+	// CacheShards is the shard count (default 16).
+	CacheShards int
+	// Log receives request-path errors; nil discards them.
+	Log *obs.Logger
+	// Metrics is the registry the server reports into (default obs.Default).
+	Metrics *obs.Registry
+}
+
+// Server answers tuning queries from a registry of loaded models.
+type Server struct {
+	reg     *Registry
+	cache   *SelectionCache
+	paths   []string
+	log     *obs.Logger
+	metrics *obs.Registry
+	mux     *http.ServeMux
+	httpSrv *http.Server
+}
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is a
+// batch of a few thousand instances.
+const maxBodyBytes = 1 << 20
+
+// New builds a server and performs the initial snapshot load (skipped when
+// no paths are configured — models can be Installed in-process instead).
+func New(opts Options) (*Server, error) {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 65536
+	}
+	if opts.CacheShards == 0 {
+		opts.CacheShards = 16
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default
+	}
+	s := &Server{
+		reg:     NewRegistry(),
+		cache:   NewSelectionCache(opts.CacheSize, opts.CacheShards),
+		paths:   append([]string(nil), opts.SnapshotPaths...),
+		log:     opts.Log,
+		metrics: opts.Metrics,
+	}
+	if len(s.paths) > 0 {
+		if err := s.reg.Load(s.paths); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/v1/select", s.instrument("select", s.handleSelect))
+	s.mux.Handle("/v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.Handle("/v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.Handle("/v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Registry exposes the model registry (for in-process installs and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the selection cache.
+func (s *Server) Cache() *SelectionCache { return s.cache }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve answers requests on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests and stops the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Reload re-reads the configured snapshot paths and atomically swaps the
+// model set; on error the previous generation keeps serving.
+func (s *Server) Reload() error {
+	if len(s.paths) == 0 {
+		return fmt.Errorf("serve: no snapshot paths configured to reload")
+	}
+	return s.reg.Load(s.paths)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// request counter.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.Handler {
+	hist := s.metrics.Histogram("serve_request_seconds", obs.Labels{"endpoint": name})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		code := h(w, r)
+		hist.Observe(time.Since(t0).Seconds())
+		s.metrics.Counter("serve_requests_total",
+			obs.Labels{"endpoint": name, "code": strconv.Itoa(code)}).Inc()
+	})
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil && s.log != nil {
+		s.log.Debugf("serve: writing response: %v", err)
+	}
+	return code
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) int {
+	return s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// InstanceRequest is the (nodes, ppn, msize) triple of a tuning query.
+type InstanceRequest struct {
+	Nodes int   `json:"nodes"`
+	PPN   int   `json:"ppn"`
+	Msize int64 `json:"msize"`
+}
+
+// SelectRequest asks for one tuning decision.
+type SelectRequest struct {
+	Model string `json:"model,omitempty"`
+	InstanceRequest
+}
+
+// Decision is the JSON form of a core.Prediction. PredictedSeconds is null
+// when the guardrails fell back (their prediction is NaN by design) or the
+// configuration is quarantined.
+type Decision struct {
+	ConfigID         int      `json:"config_id"`
+	AlgID            int      `json:"alg_id"`
+	Label            string   `json:"label"`
+	PredictedSeconds *float64 `json:"predicted_seconds"`
+	Fallback         bool     `json:"fallback,omitempty"`
+	FallbackReason   string   `json:"fallback_reason,omitempty"`
+	Cached           bool     `json:"cached,omitempty"`
+}
+
+func toDecision(p core.Prediction, cached bool) Decision {
+	d := Decision{ConfigID: p.ConfigID, AlgID: p.AlgID, Label: p.Label,
+		Fallback: p.Fallback, FallbackReason: p.FallbackReason, Cached: cached}
+	if !math.IsNaN(p.Predicted) && !math.IsInf(p.Predicted, 0) {
+		v := p.Predicted
+		d.PredictedSeconds = &v
+	}
+	return d
+}
+
+// SelectResponse echoes the instance and carries the decision.
+type SelectResponse struct {
+	Model string `json:"model"`
+	Coll  string `json:"coll"`
+	InstanceRequest
+	Decision
+}
+
+// parseSelectRequest accepts both GET query parameters (curl-friendly) and
+// a POST JSON body.
+func parseSelectRequest(r *http.Request) (SelectRequest, error) {
+	var req SelectRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Model = q.Get("model")
+		var err error
+		if req.Nodes, err = strconv.Atoi(q.Get("nodes")); err != nil {
+			return req, fmt.Errorf("bad nodes %q", q.Get("nodes"))
+		}
+		if req.PPN, err = strconv.Atoi(q.Get("ppn")); err != nil {
+			return req, fmt.Errorf("bad ppn %q", q.Get("ppn"))
+		}
+		if req.Msize, err = strconv.ParseInt(q.Get("msize"), 10, 64); err != nil {
+			return req, fmt.Errorf("bad msize %q", q.Get("msize"))
+		}
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request body: %v", err)
+		}
+	default:
+		return req, errMethod
+	}
+	return req, nil
+}
+
+var errMethod = errors.New("method not allowed; use GET or POST")
+
+// resolve validates the instance and resolves the model against one
+// captured registry generation.
+func (s *Server) resolve(w http.ResponseWriter, req SelectRequest) (*modelSet, *Model, int) {
+	if err := dataset.CheckInstance(req.Nodes, req.PPN, req.Msize); err != nil {
+		return nil, nil, s.writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
+	}
+	set := s.reg.view()
+	m, err := set.get(req.Model)
+	if err != nil {
+		return nil, nil, s.writeError(w, http.StatusNotFound, "%v", err)
+	}
+	return set, m, 0
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) int {
+	req, err := parseSelectRequest(r)
+	if err != nil {
+		if errors.Is(err, errMethod) {
+			return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
+		}
+		return s.writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	set, m, code := s.resolve(w, req)
+	if m == nil {
+		return code
+	}
+	p, cached := s.selectCached(set, m, req.InstanceRequest)
+	return s.writeJSON(w, http.StatusOK, SelectResponse{
+		Model: m.Name, Coll: m.Sel.Coll,
+		InstanceRequest: req.InstanceRequest,
+		Decision:        toDecision(p, cached),
+	})
+}
+
+// selectCached answers one instance through the cache.
+func (s *Server) selectCached(set *modelSet, m *Model, in InstanceRequest) (core.Prediction, bool) {
+	key := CacheKey{Gen: set.gen, Model: m.Name, Nodes: in.Nodes, PPN: in.PPN, Msize: in.Msize}
+	if p, ok := s.cache.Get(key); ok {
+		return p, true
+	}
+	p := m.Sel.Select(in.Nodes, in.PPN, in.Msize)
+	s.cache.Put(key, p)
+	return p, false
+}
+
+// PredictResponse ranks every configuration for the instance.
+type PredictResponse struct {
+	Model string `json:"model"`
+	Coll  string `json:"coll"`
+	InstanceRequest
+	Predictions []Decision `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	req, err := parseSelectRequest(r)
+	if err != nil {
+		if errors.Is(err, errMethod) {
+			return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
+		}
+		return s.writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	_, m, code := s.resolve(w, req)
+	if m == nil {
+		return code
+	}
+	preds := m.Sel.PredictAll(req.Nodes, req.PPN, req.Msize)
+	resp := PredictResponse{Model: m.Name, Coll: m.Sel.Coll, InstanceRequest: req.InstanceRequest}
+	for _, p := range preds {
+		resp.Predictions = append(resp.Predictions, toDecision(p, false))
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest asks for decisions on many instances at once.
+type BatchRequest struct {
+	Model     string            `json:"model,omitempty"`
+	Instances []InstanceRequest `json:"instances"`
+}
+
+// BatchResult is one instance's outcome; Error is set instead of the
+// decision when the instance failed validation.
+type BatchResult struct {
+	InstanceRequest
+	Decision
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse carries per-instance results in request order.
+type BatchResponse struct {
+	Model   string        `json:"model"`
+	Coll    string        `json:"coll"`
+	Results []BatchResult `json:"results"`
+}
+
+// maxBatchInstances bounds one batch request.
+const maxBatchInstances = 10000
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return s.writeError(w, http.StatusMethodNotAllowed, "POST a BatchRequest")
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if len(req.Instances) == 0 {
+		return s.writeError(w, http.StatusBadRequest, "empty batch")
+	}
+	if len(req.Instances) > maxBatchInstances {
+		return s.writeError(w, http.StatusBadRequest, "batch of %d instances exceeds the %d limit",
+			len(req.Instances), maxBatchInstances)
+	}
+	set := s.reg.view()
+	m, err := set.get(req.Model)
+	if err != nil {
+		return s.writeError(w, http.StatusNotFound, "%v", err)
+	}
+	resp := BatchResponse{Model: m.Name, Coll: m.Sel.Coll, Results: make([]BatchResult, len(req.Instances))}
+	for i, in := range req.Instances {
+		resp.Results[i].InstanceRequest = in
+		if err := dataset.CheckInstance(in.Nodes, in.PPN, in.Msize); err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		p, cached := s.selectCached(set, m, in)
+		resp.Results[i].Decision = toDecision(p, cached)
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return s.writeError(w, http.StatusMethodNotAllowed, "POST to reload")
+	}
+	if err := s.Reload(); err != nil {
+		return s.writeError(w, http.StatusInternalServerError, "reload failed (previous models still serving): %v", err)
+	}
+	return s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "reloaded", "generation": s.reg.Gen(), "models": s.reg.Names(),
+	})
+}
+
+// ModelInfo describes one loaded model in /healthz.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Coll        string `json:"coll"`
+	Learner     string `json:"learner"`
+	Dataset     string `json:"dataset"`
+	Lib         string `json:"lib"`
+	Machine     string `json:"machine"`
+	DatasetHash string `json:"dataset_hash"`
+	TrainNodes  []int  `json:"train_nodes"`
+	Configs     int    `json:"configs"`
+	Quarantined int    `json:"quarantined"`
+	Fallbacks   int    `json:"fallbacks"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status     string      `json:"status"`
+	Generation uint64      `json:"generation"`
+	Models     []ModelInfo `json:"models"`
+	CacheSize  int         `json:"cache_size"`
+	CacheHits  int64       `json:"cache_hits"`
+	CacheMiss  int64       `json:"cache_misses"`
+	CacheEvict int64       `json:"cache_evictions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	set := s.reg.view()
+	resp := HealthResponse{Status: "ok", Generation: set.gen}
+	for _, name := range set.names { // sorted at install time
+		m := set.byName[name]
+		resp.Models = append(resp.Models, ModelInfo{
+			Name: m.Name, Coll: m.Sel.Coll, Learner: m.Sel.Learner,
+			Dataset: m.Fp.Dataset, Lib: m.Fp.Lib, Machine: m.Fp.Machine,
+			DatasetHash: fmt.Sprintf("%016x", m.Fp.DatasetHash),
+			TrainNodes:  m.Sel.TrainNodes,
+			Configs:     len(m.Sel.Configs()),
+			Quarantined: len(m.Sel.Quarantined()),
+			Fallbacks:   m.Sel.Fallbacks(),
+		})
+	}
+	resp.CacheSize = s.cache.Len()
+	resp.CacheHits, resp.CacheMiss, resp.CacheEvict = s.cache.Stats()
+	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	// Mirror the cache counters into the registry so one scrape has both
+	// HTTP and cache health.
+	hits, misses, evict := s.cache.Stats()
+	s.metrics.Gauge("serve_cache_hits_total", nil).Set(float64(hits))
+	s.metrics.Gauge("serve_cache_misses_total", nil).Set(float64(misses))
+	s.metrics.Gauge("serve_cache_evictions_total", nil).Set(float64(evict))
+	s.metrics.Gauge("serve_cache_entries", nil).Set(float64(s.cache.Len()))
+
+	var err error
+	if strings.EqualFold(r.URL.Query().Get("format"), "json") {
+		w.Header().Set("Content-Type", "application/json")
+		err = s.metrics.WriteJSON(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = s.metrics.WriteText(w)
+	}
+	if err != nil && s.log != nil {
+		s.log.Debugf("serve: writing metrics: %v", err)
+	}
+	return http.StatusOK
+}

@@ -1,0 +1,187 @@
+// Learner codecs: one encode/decode pair per registered regressor. The
+// codec works on the exported State of each learner package and tags every
+// encoded learner with its registry name, so a snapshot is self-describing
+// and a decoded model goes back through the same validation wrapper ml.New
+// applies.
+package snapshot
+
+import (
+	"fmt"
+
+	"mpicollpred/internal/ml"
+	"mpicollpred/internal/ml/gam"
+	"mpicollpred/internal/ml/knn"
+	"mpicollpred/internal/ml/linreg"
+	"mpicollpred/internal/ml/rf"
+	"mpicollpred/internal/ml/tree"
+	"mpicollpred/internal/ml/xgb"
+)
+
+// EncodeLearner appends a fitted regressor (as returned by ml.New and
+// trained via Fit) to the writer.
+func EncodeLearner(w *Writer, r ml.Regressor) error {
+	switch m := ml.Unwrap(r).(type) {
+	case *knn.Regressor:
+		w.String("knn")
+		s := m.State()
+		w.Int(s.K)
+		w.F64s(s.Mean)
+		w.F64s(s.Scale)
+		w.F64Rows(s.X)
+		w.F64s(s.Y)
+	case *gam.Regressor:
+		w.String("gam")
+		s := m.State()
+		w.Int(s.Opts.NumBasis)
+		w.F64s(s.Opts.Lambdas)
+		w.Int(s.Opts.MaxIter)
+		w.F64s(s.Lo)
+		w.F64s(s.Hi)
+		w.Bools(s.Active)
+		w.F64s(s.Beta)
+		w.F64(s.Lambda)
+		w.F64(s.EDF)
+	case *xgb.Regressor:
+		w.String("xgboost")
+		s := m.State()
+		w.Int(s.Opts.Rounds)
+		w.F64(s.Opts.Eta)
+		w.Int(s.Opts.MaxDepth)
+		w.F64(s.Opts.Lambda)
+		w.F64(s.Opts.MinChild)
+		w.String(string(s.Opts.Objective))
+		w.F64(s.Opts.TweedieRho)
+		w.F64(s.Base)
+		encodeTrees(w, s.Trees)
+	case *rf.Regressor:
+		w.String("rf")
+		s := m.State()
+		w.Int(s.Opts.NumTrees)
+		w.Int(s.Opts.MaxDepth)
+		w.Int(s.Opts.MinLeaf)
+		w.Int(s.Opts.MTry)
+		w.U64(s.Opts.Seed)
+		encodeTrees(w, s.Trees)
+	case *linreg.Regressor:
+		w.String("linear")
+		w.F64s(m.State().Beta)
+	default:
+		return fmt.Errorf("snapshot: no codec for learner type %T", m)
+	}
+	return nil
+}
+
+// DecodeLearner reads one regressor written by EncodeLearner and returns it
+// wrapped in the registry's validation layer.
+func DecodeLearner(r *Reader) (ml.Regressor, error) {
+	kind := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var (
+		m   ml.Regressor
+		err error
+	)
+	switch kind {
+	case "knn":
+		var s knn.State
+		s.K = r.Int()
+		s.Mean = r.F64s()
+		s.Scale = r.F64s()
+		s.X = r.F64Rows()
+		s.Y = r.F64s()
+		if err = r.Err(); err == nil {
+			m, err = knn.FromState(s)
+		}
+	case "gam":
+		var s gam.State
+		s.Opts.NumBasis = r.Int()
+		s.Opts.Lambdas = r.F64s()
+		s.Opts.MaxIter = r.Int()
+		s.Lo = r.F64s()
+		s.Hi = r.F64s()
+		s.Active = r.Bools()
+		s.Beta = r.F64s()
+		s.Lambda = r.F64()
+		s.EDF = r.F64()
+		if err = r.Err(); err == nil {
+			m, err = gam.FromState(s)
+		}
+	case "xgboost":
+		var s xgb.State
+		s.Opts.Rounds = r.Int()
+		s.Opts.Eta = r.F64()
+		s.Opts.MaxDepth = r.Int()
+		s.Opts.Lambda = r.F64()
+		s.Opts.MinChild = r.F64()
+		s.Opts.Objective = xgb.Objective(r.String())
+		s.Opts.TweedieRho = r.F64()
+		s.Base = r.F64()
+		s.Trees = decodeTrees(r)
+		if err = r.Err(); err == nil {
+			m, err = xgb.FromState(s)
+		}
+	case "rf":
+		var s rf.State
+		s.Opts.NumTrees = r.Int()
+		s.Opts.MaxDepth = r.Int()
+		s.Opts.MinLeaf = r.Int()
+		s.Opts.MTry = r.Int()
+		s.Opts.Seed = r.U64()
+		s.Trees = decodeTrees(r)
+		if err = r.Err(); err == nil {
+			m, err = rf.FromState(s)
+		}
+	case "linear":
+		s := linreg.State{Beta: r.F64s()}
+		if err = r.Err(); err == nil {
+			m, err = linreg.FromState(s)
+		}
+	default:
+		return nil, fmt.Errorf("snapshot: unknown learner kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ml.Validated(m), nil
+}
+
+func encodeTrees(w *Writer, trees [][]tree.Node) {
+	w.U32(uint32(len(trees)))
+	for _, nodes := range trees {
+		w.U32(uint32(len(nodes)))
+		for _, n := range nodes {
+			w.U32(uint32(n.Feature))
+			w.F64(n.Thresh)
+			w.U32(uint32(n.Left))
+			w.U32(uint32(n.Right))
+			w.F64(n.Value)
+		}
+	}
+}
+
+func decodeTrees(r *Reader) [][]tree.Node {
+	nt := int(r.U32())
+	if !r.checkLen(nt*4, "tree list") {
+		return nil
+	}
+	out := make([][]tree.Node, nt)
+	for i := range out {
+		nn := int(r.U32())
+		if !r.checkLen(nn*28, "tree nodes") {
+			return nil
+		}
+		nodes := make([]tree.Node, nn)
+		for j := range nodes {
+			nodes[j] = tree.Node{
+				Feature: int32(r.U32()),
+				Thresh:  r.F64(),
+				Left:    int32(r.U32()),
+				Right:   int32(r.U32()),
+				Value:   r.F64(),
+			}
+		}
+		out[i] = nodes
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+// Package snapshot is the persistence substrate of the tuning framework: a
+// deterministic, versioned binary codec for trained model state. Floats are
+// stored as their IEEE-754 bit patterns, so a round trip through a snapshot
+// is bit-identical — a loaded model predicts exactly what the in-memory
+// model predicted. The file framing carries a magic string, a format
+// version, the payload length, and a CRC32, so truncated, corrupted, or
+// incompatible snapshots are rejected with a descriptive error instead of
+// being half-loaded into a serving process.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Magic is the first eight bytes of every snapshot file.
+const Magic = "MPCOLSNP"
+
+// Version is the current payload-format version. Bump it whenever the
+// payload layout changes; readers reject other versions.
+const Version = 1
+
+// Sentinel errors for the reject paths, so callers and tests can
+// distinguish why a snapshot was refused.
+var (
+	ErrTruncated = errors.New("snapshot: truncated")
+	ErrCorrupt   = errors.New("snapshot: checksum mismatch")
+	ErrMagic     = errors.New("snapshot: not a snapshot file")
+	ErrVersion   = errors.New("snapshot: unsupported format version")
+)
+
+// headerLen is magic + version(u32) + payload length(u64) + crc32(u32).
+const headerLen = len(Magic) + 4 + 8 + 4
+
+// Frame wraps an encoded payload in the snapshot file envelope.
+func Frame(payload []byte) []byte {
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, Magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// Unframe validates the envelope and returns the payload.
+func Unframe(data []byte) ([]byte, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(data), headerLen)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrMagic, data[:len(Magic)])
+	}
+	off := len(Magic)
+	version := binary.LittleEndian.Uint32(data[off:])
+	if version != Version {
+		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, version, Version)
+	}
+	off += 4
+	plen := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	payload := data[off:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header promises %d", ErrTruncated, len(payload), plen)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// Writer appends primitive values to a byte buffer. All integers are
+// little-endian fixed width; floats are raw IEEE-754 bits, which makes the
+// encoding deterministic and the decode bit-exact.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 as its bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// F64s appends a length-prefixed []float64.
+func (w *Writer) F64s(v []float64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// Ints appends a length-prefixed []int.
+func (w *Writer) Ints(v []int) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// Bools appends a length-prefixed []bool.
+func (w *Writer) Bools(v []bool) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.Bool(x)
+	}
+}
+
+// F64Rows appends a length-prefixed [][]float64.
+func (w *Writer) F64Rows(v [][]float64) {
+	w.U32(uint32(len(v)))
+	for _, row := range v {
+		w.F64s(row)
+	}
+}
+
+// Reader consumes a payload written by Writer. Errors are sticky: the first
+// failure is remembered, subsequent reads return zero values, and Err
+// reports what went wrong — callers check once after decoding a section.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: reading %s at offset %d of %d", ErrTruncated, what, r.off, len(r.buf))
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "uint32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "uint64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int stored as int64.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a bool byte.
+func (r *Reader) Bool() bool {
+	b := r.take(1, "bool")
+	return b != nil && b[0] != 0
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if !r.checkLen(n, "string") {
+		return ""
+	}
+	b := r.take(n, "string bytes")
+	return string(b)
+}
+
+// checkLen guards against absurd length prefixes from corrupted input so a
+// bad snapshot cannot trigger a giant allocation.
+func (r *Reader) checkLen(n int, what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(fmt.Sprintf("%s of claimed length %d", what, n))
+		return false
+	}
+	return true
+}
+
+// F64s reads a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := int(r.U32())
+	if !r.checkLen(n*8, "float64 slice") {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := int(r.U32())
+	if !r.checkLen(n*8, "int slice") {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Bools reads a length-prefixed []bool.
+func (r *Reader) Bools() []bool {
+	n := int(r.U32())
+	if !r.checkLen(n, "bool slice") {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Bool()
+	}
+	return out
+}
+
+// F64Rows reads a length-prefixed [][]float64.
+func (r *Reader) F64Rows() [][]float64 {
+	n := int(r.U32())
+	if !r.checkLen(n*4, "row slice") { // every row costs at least a length prefix
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.F64s()
+	}
+	return out
+}
