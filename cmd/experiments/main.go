@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/eval"
 	"mpicollpred/internal/machine"
@@ -155,11 +156,13 @@ func main() {
 		onlyFlag    = flag.String("only", "", "comma-separated subset of experiments (default: all)")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		metricsFlag = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
+		workersFlag = flag.Int("fitworkers", 0, "fit-worker pool size for model training (0 = GOMAXPROCS, 1 = serial)")
 		verboseFlag = flag.Bool("v", false, "verbose (debug) logging")
 		quietFlag   = flag.Bool("quiet", false, "suppress informational logging")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verboseFlag, *quietFlag))
+	core.SetFitWorkers(*workersFlag)
 
 	all := experimentsList()
 	if *listFlag {

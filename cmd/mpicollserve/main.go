@@ -33,6 +33,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
 		cacheSize = flag.Int("cache-size", 65536, "selection cache capacity in entries (<= -1 disables)")
 		shards    = flag.Int("cache-shards", 16, "selection cache shard count")
+		batchWrk  = flag.Int("batch-workers", 0, "per-request /v1/batch concurrency cap (0 = GOMAXPROCS, 1 = serial)")
 		verbose   = flag.Bool("v", false, "verbose (debug) logging")
 		quiet     = flag.Bool("quiet", false, "suppress informational logging")
 
@@ -42,6 +43,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		workers  = flag.Int("workers", 8, "loadgen: concurrent client goroutines")
 		seed     = flag.Uint64("seed", 1, "loadgen: instance-sequence seed")
+		batch    = flag.Int("batch", 0, "loadgen: POST /v1/batch with this many instances per request (0 = /v1/select)")
 		out      = flag.String("out", "BENCH_serve.json", "loadgen: report file")
 	)
 	flag.Parse()
@@ -50,7 +52,7 @@ func main() {
 	if *loadgen {
 		runLoadgen(log, serve.LoadgenOptions{
 			URL: strings.TrimRight(*url, "/"), Model: *model,
-			Duration: *duration, Workers: *workers, Seed: *seed,
+			Duration: *duration, Workers: *workers, Seed: *seed, Batch: *batch,
 		}, *out)
 		return
 	}
@@ -70,6 +72,7 @@ func main() {
 		SnapshotPaths: paths,
 		CacheSize:     *cacheSize,
 		CacheShards:   *shards,
+		BatchWorkers:  *batchWrk,
 		Log:           log,
 	})
 	fail(err)
@@ -113,6 +116,10 @@ func runLoadgen(log *obs.Logger, opts serve.LoadgenOptions, out string) {
 		log.Infof("loadgen: %d requests (%d cached, %d errors), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
 			rep.Requests, rep.CachedHits, rep.Errors, rep.QPS,
 			rep.LatencyP50Us, rep.LatencyP90Us, rep.LatencyP99Us)
+		if rep.BatchSize > 0 {
+			log.Infof("loadgen: batches of %d -> %d instances, %.0f instances/s",
+				rep.BatchSize, rep.Instances, rep.InstancesPerSec)
+		}
 	}
 	if out != "" {
 		if werr := rep.WriteFile(out); werr != nil {

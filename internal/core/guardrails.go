@@ -196,14 +196,6 @@ func (s *Selector) safePredict(id int, f []float64) (t float64) {
 	return m.Predict(f)
 }
 
-// hasModel reports whether a healthy (non-quarantined) model exists for id.
-func (s *Selector) hasModel(id int) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.models[id]
-	return ok
-}
-
 // fallback answers a Select call with the library's default decision logic.
 func (s *Selector) fallback(nodes, ppn int, msize int64, reason string) Prediction {
 	s.fallbacks.Add(1)

@@ -144,11 +144,16 @@ func TestPanickingFitQuarantinesConfigs(t *testing.T) {
 	if pred.ConfigID < 1 {
 		t.Errorf("fallback returned no concrete config: %+v", pred)
 	}
-	// ...and an unguarded one returns the zero prediction rather than
-	// crashing.
+	// ...and an unguarded one says so explicitly: Fallback with reason
+	// "no_model" and a NaN prediction, never a mute zero value a caller
+	// would read as "library default, predicted 0s".
 	sel.fbSet = nil
-	if got := sel.Select(4, 4, 16384); got.ConfigID != 0 {
-		t.Errorf("unguarded selection with no models: %+v", got)
+	got := sel.Select(4, 4, 16384)
+	if !got.Fallback || got.FallbackReason != "no_model" {
+		t.Errorf("unguarded selection with no models lacks the fallback marker: %+v", got)
+	}
+	if !math.IsNaN(got.Predicted) {
+		t.Errorf("unguarded no-model prediction = %v, want NaN", got.Predicted)
 	}
 }
 
@@ -160,8 +165,8 @@ func TestPanickingPredictQuarantinesAndNeverSelects(t *testing.T) {
 		t.Fatal(err)
 	}
 	pred := sel.Select(3, 4, 16384)
-	if pred.ConfigID != 0 {
-		t.Errorf("all models panic on Predict, yet config %d was selected", pred.ConfigID)
+	if pred.ConfigID != 0 || !pred.Fallback || pred.FallbackReason != "no_model" {
+		t.Errorf("all models panic on Predict, want an explicit no_model fallback, got %+v", pred)
 	}
 	if len(sel.Quarantined()) != len(set.Selectable()) {
 		t.Errorf("quarantined %d configs, want all %d", len(sel.Quarantined()), len(set.Selectable()))

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/floats"
 	"mpicollpred/internal/machine"
 	"mpicollpred/internal/ml"
 	"mpicollpred/internal/mpilib"
@@ -94,10 +95,35 @@ type Selector struct {
 // Train fits one regression model per selectable configuration using the
 // samples of ds whose node count is in trainNodes (the paper's split: train
 // on commonly used node counts, predict the rest). learner is one of
-// ml.Names() ("knn", "gam", "xgboost", ...).
+// ml.Names() ("knn", "gam", "xgboost", ...). Fitting runs on the package's
+// default worker pool (GOMAXPROCS workers; see SetFitWorkers) and is
+// bit-identical to a serial run.
 func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, trainNodes []int) (*Selector, error) {
+	return TrainPool(ds, set, learner, trainNodes, nil)
+}
+
+// fitResult is one configuration's outcome, produced by a pool worker and
+// committed by the Train goroutine.
+type fitResult struct {
+	m    ml.Regressor
+	env  Envelope
+	wall float64
+	err  error
+}
+
+// TrainPool is Train on an explicit worker pool (nil means the default
+// pool). A pool of size 1 reproduces the serial fitting path; any size
+// yields the same selector bit for bit, because workers only compute
+// independent per-configuration results and this goroutine commits them in
+// configuration order: model-map and envelope contents, the envelope merge
+// order, FitWall's floating-point accumulation order, and quarantine
+// records never depend on scheduling.
+func TrainPool(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, trainNodes []int, pool *FitPool) (*Selector, error) {
 	if len(trainNodes) == 0 {
 		return nil, fmt.Errorf("core: no training node counts given")
+	}
+	if _, err := ml.New(learner); err != nil {
+		return nil, err
 	}
 	inTrain := map[int]bool{}
 	for _, n := range trainNodes {
@@ -122,37 +148,67 @@ func Train(ds *dataset.Dataset, set *mpilib.CollectiveSet, learner string, train
 		xs[s.ConfigID] = append(xs[s.ConfigID], Features(s.Nodes, s.PPN, s.Msize))
 		ys[s.ConfigID] = append(ys[s.ConfigID], s.Time)
 	}
-
-	fitHist := obs.Default.Histogram("core_fit_seconds", obs.Labels{"learner": learner})
-	sel.selectHist = obs.Default.Histogram("core_select_seconds", obs.Labels{"learner": learner})
+	// Pre-flight in configuration order, so the "no training samples" error
+	// names the same configuration a serial sweep would have stopped at.
 	for _, cfg := range sel.configs {
-		x, y := xs[cfg.ID], ys[cfg.ID]
-		if len(x) == 0 {
+		if len(xs[cfg.ID]) == 0 {
 			return nil, fmt.Errorf("core: configuration %d (%s) has no training samples on nodes %v",
 				cfg.ID, cfg.Label(), trainNodes)
 		}
-		m, err := ml.New(learner)
-		if err != nil {
-			return nil, err
-		}
-		t0 := time.Now()
-		if err := safeFit(m, x, y); err != nil {
-			if errors.Is(err, errLearnerPanic) {
+	}
+
+	fitHist := obs.Default.Histogram("core_fit_seconds", obs.Labels{"learner": learner})
+	sel.selectHist = obs.Default.Histogram("core_select_seconds", obs.Labels{"learner": learner})
+	if pool == nil {
+		pool = DefaultFitPool()
+	}
+
+	// Fan the per-configuration fits across the pool. Each worker writes
+	// only its own slot of results; wg.Wait orders those writes before the
+	// commit loop below.
+	results := make([]fitResult, len(sel.configs))
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i, cfg := range sel.configs {
+		i, x, y := i, xs[cfg.ID], ys[cfg.ID]
+		wg.Add(1)
+		pool.submit(func() {
+			defer wg.Done()
+			m, err := ml.New(learner)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			f0 := time.Now()
+			if err := safeFit(m, x, y); err != nil {
+				results[i].err = err
+				return
+			}
+			results[i] = fitResult{m: m, env: newEnvelope(x, y), wall: time.Since(f0).Seconds()}
+		})
+	}
+	wg.Wait()
+	obs.Default.Histogram("core_fit_parallel_seconds", obs.Labels{"learner": learner}).
+		Observe(time.Since(t0).Seconds())
+
+	// Deterministic assembly: commit in configuration order, single-threaded.
+	for i, cfg := range sel.configs {
+		res := results[i]
+		if res.err != nil {
+			if errors.Is(res.err, errLearnerPanic) {
 				// One broken learner instance must not take down the whole
 				// tuning run: the configuration is quarantined (never
 				// selected) and training continues.
-				sel.quarantine(cfg.ID, "fit", err.Error())
+				sel.quarantine(cfg.ID, "fit", res.err.Error())
 				continue
 			}
-			return nil, fmt.Errorf("core: fitting %s for config %d (%s): %w", learner, cfg.ID, cfg.Label(), err)
+			return nil, fmt.Errorf("core: fitting %s for config %d (%s): %w", learner, cfg.ID, cfg.Label(), res.err)
 		}
-		wall := time.Since(t0).Seconds()
-		sel.FitWall += wall
-		fitHist.Observe(wall)
-		sel.models[cfg.ID] = m
-		env := newEnvelope(x, y)
-		sel.envelopes[cfg.ID] = env
-		sel.envelope.merge(env)
+		sel.FitWall += res.wall
+		fitHist.Observe(res.wall)
+		sel.models[cfg.ID] = res.m
+		sel.envelopes[cfg.ID] = res.env
+		sel.envelope.merge(res.env)
 	}
 	return sel, nil
 }
@@ -164,12 +220,18 @@ func (s *Selector) PredictAll(nodes, ppn int, msize int64) []Prediction {
 }
 
 // PredictAllFeatures is PredictAll on an explicit feature vector.
-// Quarantined configurations predict +Inf so they sort last and never win.
+// Quarantined configurations — and live models predicting NaN — report
+// +Inf so they sort last and never win. Mapping NaN to +Inf before sorting
+// matters for more than cosmetics: a bare `<` comparator over NaNs is not
+// a strict weak order, so sort results (and therefore response order
+// across runs and serve generations) would be anybody's guess. The sort is
+// stable with a ConfigID tie-break, making the ranking fully deterministic
+// even when several configurations predict exactly the same time.
 func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 	out := make([]Prediction, 0, len(s.configs))
 	for _, cfg := range s.configs {
 		t := s.safePredict(cfg.ID, f)
-		if !s.hasModel(cfg.ID) {
+		if math.IsNaN(t) {
 			t = math.Inf(1)
 		}
 		out = append(out, Prediction{
@@ -179,7 +241,12 @@ func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 			Predicted: t,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Predicted < out[j].Predicted })
+	sort.SliceStable(out, func(i, j int) bool {
+		if !floats.Exact(out[i].Predicted, out[j].Predicted) {
+			return out[i].Predicted < out[j].Predicted
+		}
+		return out[i].ConfigID < out[j].ConfigID
+	})
 	return out
 }
 
@@ -200,7 +267,7 @@ func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
 		return s.fallback(nodes, ppn, msize, "extrapolation")
 	}
 	best := s.SelectFeatures(f)
-	if best.ConfigID == 0 {
+	if best.Fallback {
 		return s.fallback(nodes, ppn, msize, "no_model")
 	}
 	if env, ok := s.envelopes[best.ConfigID]; ok && !env.Plausible(best.Predicted, s.PlausibilitySlack) {
@@ -213,6 +280,13 @@ func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
 // permutation-importance analysis, which tampers with single features). It
 // is the raw argmin — guardrails do not apply here, only panic safety:
 // quarantined or panicking models are skipped.
+//
+// When no healthy model produced a finite prediction (every configuration
+// quarantined, or every live model answered NaN), the result is an explicit
+// fallback: ConfigID mpilib.DefaultID with Fallback set, FallbackReason
+// "no_model" and a NaN predicted time. Returning the zero Prediction here
+// would be indistinguishable from "the library default, predicted to take
+// 0 seconds" — a silent lie to any unguarded caller.
 func (s *Selector) SelectFeatures(f []float64) Prediction {
 	if s.selectHist != nil {
 		t0 := time.Now()
@@ -229,6 +303,10 @@ func (s *Selector) SelectFeatures(f []float64) Prediction {
 			best = Prediction{ConfigID: cfg.ID, AlgID: cfg.AlgID, Label: cfg.Label(), Predicted: t}
 			first = false
 		}
+	}
+	if first {
+		return Prediction{ConfigID: mpilib.DefaultID, Label: "library-default",
+			Predicted: math.NaN(), Fallback: true, FallbackReason: "no_model"}
 	}
 	return best
 }

@@ -72,11 +72,15 @@ func (s *Selector) Snapshot(fp Fingerprint) ([]byte, error) {
 	w.String(fp.Learner)
 	w.Ints(fp.TrainNodes)
 
-	// Selector metadata.
+	// Selector metadata. The fit wall-clock slot is pinned to zero: wall
+	// time is run metadata, not model state — it differs between any two
+	// training runs (and between serial and parallel fitting), and encoding
+	// it would break the guarantee that retraining the same data yields
+	// byte-identical snapshot files.
 	w.String(s.Coll)
 	w.String(s.Learner)
 	w.Ints(s.TrainNodes)
-	w.F64(s.FitWall)
+	w.F64(0)
 	w.F64(s.PlausibilitySlack)
 
 	// Portfolio identity: the selectable configuration ids and labels, so a

@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,6 +32,9 @@ type LoadgenOptions struct {
 	Workers int
 	// Seed keys the deterministic instance sequence.
 	Seed uint64
+	// Batch switches the workers from /v1/select to /v1/batch, posting this
+	// many instances per request (0 keeps the single-select mode).
+	Batch int
 	// Nodes/PPNs/Msizes form the instance pool workers draw from. The pool
 	// is deliberately small: real tuning traffic repeats the same instances,
 	// which is what the selection cache exists for.
@@ -39,16 +43,21 @@ type LoadgenOptions struct {
 	Msizes []int64
 }
 
-// LoadgenReport summarizes a run; it is what BENCH_serve.json holds.
+// LoadgenReport summarizes a run; it is what BENCH_serve.json holds. In
+// batch mode (BatchSize > 0) Requests counts round trips, Instances counts
+// tuning decisions, and latencies are per round trip.
 type LoadgenReport struct {
 	URL             string  `json:"url"`
 	Model           string  `json:"model"`
 	Workers         int     `json:"workers"`
+	BatchSize       int     `json:"batch_size,omitempty"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	Requests        int64   `json:"requests"`
+	Instances       int64   `json:"instances"`
 	Errors          int64   `json:"errors"`
 	CachedHits      int64   `json:"cached_hits"`
 	QPS             float64 `json:"qps"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
 	LatencyP50Us    float64 `json:"latency_p50_us"`
 	LatencyP90Us    float64 `json:"latency_p90_us"`
 	LatencyP99Us    float64 `json:"latency_p99_us"`
@@ -76,6 +85,7 @@ func (o *LoadgenOptions) defaults() {
 // loadgenWorker is one client goroutine's tally.
 type loadgenWorker struct {
 	requests  int64
+	instances int64
 	errors    int64
 	cached    int64
 	latencies []float64 // seconds
@@ -106,41 +116,59 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 			defer wg.Done()
 			w := &workers[wi]
 			rng := sim.NewRNG(sim.Seed(opts.Seed, uint64(wi)))
+			draw := func() InstanceRequest {
+				return InstanceRequest{
+					Nodes: opts.Nodes[rng.Intn(len(opts.Nodes))],
+					PPN:   opts.PPNs[rng.Intn(len(opts.PPNs))],
+					Msize: opts.Msizes[rng.Intn(len(opts.Msizes))],
+				}
+			}
 			for time.Now().Before(deadline) {
-				n := opts.Nodes[rng.Intn(len(opts.Nodes))]
-				ppn := opts.PPNs[rng.Intn(len(opts.PPNs))]
-				m := opts.Msizes[rng.Intn(len(opts.Msizes))]
-				url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
-					opts.URL, opts.Model, n, ppn, m)
+				var cached, instances int64
+				var err error
 				t0 := time.Now()
-				cached, err := doSelect(client, url)
+				if opts.Batch > 0 {
+					instances = int64(opts.Batch)
+					cached, err = doBatch(client, opts.URL, opts.Model, draw, opts.Batch)
+				} else {
+					instances = 1
+					in := draw()
+					url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
+						opts.URL, opts.Model, in.Nodes, in.PPN, in.Msize)
+					var hit bool
+					hit, err = doSelect(client, url)
+					if hit {
+						cached = 1
+					}
+				}
 				w.latencies = append(w.latencies, time.Since(t0).Seconds())
 				w.requests++
+				w.instances += instances
 				if err != nil {
 					w.errors++
 					e := err
 					firstErr.CompareAndSwap(nil, &e)
 					continue
 				}
-				if cached {
-					w.cached++
-				}
+				w.cached += cached
 			}
 		}(wi)
 	}
 	wg.Wait()
 
 	rep := LoadgenReport{URL: opts.URL, Model: opts.Model, Workers: opts.Workers,
-		DurationSeconds: opts.Duration.Seconds()}
+		BatchSize: opts.Batch, DurationSeconds: opts.Duration.Seconds()}
 	var all []float64
 	for i := range workers {
 		rep.Requests += workers[i].requests
+		rep.Instances += workers[i].instances
 		rep.Errors += workers[i].errors
 		rep.CachedHits += workers[i].cached
 		all = append(all, workers[i].latencies...)
 	}
 	if rep.DurationSeconds > 0 {
 		rep.QPS = float64(rep.Requests) / rep.DurationSeconds
+		rep.InstancesPerSec = float64(rep.Instances) / rep.DurationSeconds
 	}
 	sort.Float64s(all)
 	rep.LatencyP50Us = quantileUs(all, 0.50)
@@ -171,6 +199,50 @@ func doSelect(client *http.Client, url string) (bool, error) {
 		return false, err
 	}
 	return sr.Cached, nil
+}
+
+// doBatch posts one /v1/batch of n drawn instances and returns how many of
+// its entries were answered from the cache. Any per-entry error counts as a
+// request error: the pool only draws valid instances, so an entry-level
+// failure means the server mishandled the batch.
+func doBatch(client *http.Client, baseURL, model string, draw func() InstanceRequest, n int) (int64, error) {
+	req := BatchRequest{Model: model, Instances: make([]InstanceRequest, n)}
+	for i := range req.Instances {
+		req.Instances[i] = draw()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(baseURL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return 0, err
+	}
+	if len(br.Results) != n {
+		return 0, fmt.Errorf("batch of %d answered with %d results", n, len(br.Results))
+	}
+	var cached int64
+	for i, res := range br.Results {
+		if res.Error != "" {
+			return cached, fmt.Errorf("batch entry %d: %s", i, res.Error)
+		}
+		if res.InstanceRequest != req.Instances[i] {
+			return cached, fmt.Errorf("batch entry %d echoes %+v, sent %+v", i, res.InstanceRequest, req.Instances[i])
+		}
+		if res.Cached {
+			cached++
+		}
+	}
+	return cached, nil
 }
 
 // quantileUs returns the q-th quantile of sorted seconds, in microseconds.

@@ -23,8 +23,11 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpicollpred/internal/core"
@@ -41,6 +44,10 @@ type Options struct {
 	CacheSize int
 	// CacheShards is the shard count (default 16).
 	CacheShards int
+	// BatchWorkers caps the per-request concurrency of /v1/batch (default
+	// GOMAXPROCS; 1 answers batches serially). One batch never spawns more
+	// goroutines than this, however many instances it carries.
+	BatchWorkers int
 	// Log receives request-path errors; nil discards them.
 	Log *obs.Logger
 	// Metrics is the registry the server reports into (default obs.Default).
@@ -49,13 +56,14 @@ type Options struct {
 
 // Server answers tuning queries from a registry of loaded models.
 type Server struct {
-	reg     *Registry
-	cache   *SelectionCache
-	paths   []string
-	log     *obs.Logger
-	metrics *obs.Registry
-	mux     *http.ServeMux
-	httpSrv *http.Server
+	reg          *Registry
+	cache        *SelectionCache
+	paths        []string
+	log          *obs.Logger
+	metrics      *obs.Registry
+	mux          *http.ServeMux
+	httpSrv      *http.Server
+	batchWorkers int
 }
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -74,12 +82,19 @@ func New(opts Options) (*Server, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.Default
 	}
+	if opts.BatchWorkers == 0 {
+		opts.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchWorkers < 1 {
+		opts.BatchWorkers = 1
+	}
 	s := &Server{
-		reg:     NewRegistry(),
-		cache:   NewSelectionCache(opts.CacheSize, opts.CacheShards),
-		paths:   append([]string(nil), opts.SnapshotPaths...),
-		log:     opts.Log,
-		metrics: opts.Metrics,
+		reg:          NewRegistry(),
+		cache:        NewSelectionCache(opts.CacheSize, opts.CacheShards),
+		paths:        append([]string(nil), opts.SnapshotPaths...),
+		log:          opts.Log,
+		metrics:      opts.Metrics,
+		batchWorkers: opts.BatchWorkers,
 	}
 	if len(s.paths) > 0 {
 		if err := s.reg.Load(s.paths); err != nil {
@@ -360,16 +375,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusNotFound, "%v", err)
 	}
 	resp := BatchResponse{Model: m.Name, Coll: m.Sel.Coll, Results: make([]BatchResult, len(req.Instances))}
-	for i, in := range req.Instances {
-		resp.Results[i].InstanceRequest = in
-		if err := dataset.CheckInstance(in.Nodes, in.PPN, in.Msize); err != nil {
-			resp.Results[i].Error = err.Error()
-			continue
-		}
-		p, cached := s.selectCached(set, m, in)
-		resp.Results[i].Decision = toDecision(p, cached)
+	s.metrics.Counter("serve_batch_instances_total", nil).Add(int64(len(req.Instances)))
+
+	// Fan the instances across a bounded worker set. Ordering is preserved
+	// by construction: worker k only ever writes Results[i] for the
+	// instances i it claimed off the shared counter, so Results[i] always
+	// answers Instances[i] regardless of which worker got there.
+	workers := s.batchWorkers
+	if workers > len(req.Instances) {
+		workers = len(req.Instances)
 	}
+	if workers <= 1 {
+		for i, in := range req.Instances {
+			s.batchOne(set, m, in, &resp.Results[i])
+		}
+		return s.writeJSON(w, http.StatusOK, resp)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Instances) {
+					return
+				}
+				s.batchOne(set, m, req.Instances[i], &resp.Results[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchOne answers one batch entry in place; an invalid instance gets a
+// per-entry error without failing the rest of the batch.
+func (s *Server) batchOne(set *modelSet, m *Model, in InstanceRequest, out *BatchResult) {
+	out.InstanceRequest = in
+	if err := dataset.CheckInstance(in.Nodes, in.PPN, in.Msize); err != nil {
+		out.Error = err.Error()
+		return
+	}
+	p, cached := s.selectCached(set, m, in)
+	out.Decision = toDecision(p, cached)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
