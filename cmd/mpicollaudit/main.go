@@ -1,0 +1,77 @@
+// Command mpicollaudit analyzes the selection audit log written by
+// mpicollserve (-audit): it summarizes what was served, replays the log
+// through the live drift monitors, and optionally re-measures every unique
+// decision in the simulator to compare observed against predicted runtimes.
+//
+// All three reports are byte-stable for a given log, so CI can diff them.
+//
+// Usage:
+//
+//	mpicollaudit -log audit.jsonl -summary
+//	mpicollaudit -log audit.jsonl -drift
+//	mpicollaudit -log audit.jsonl -replay -reps 3 -out replay.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpicollpred/internal/audit"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "audit.jsonl", "audit log to analyze (JSONL, from mpicollserve -audit)")
+		summary = flag.Bool("summary", false, "print selection distributions, cache and fallback breakdowns")
+		drift   = flag.Bool("drift", false, "replay the log through the serving drift monitors")
+		replay  = flag.Bool("replay", false, "re-measure unique decisions in the simulator (observed vs predicted)")
+		reps    = flag.Int("reps", 2, "replay: simulated repetitions per measurement")
+		maxInst = flag.Int("max-instances", 64, "replay: cap on unique decisions measured")
+		out     = flag.String("out", "", "write the report here instead of stdout")
+	)
+	flag.Parse()
+	if !*summary && !*drift && !*replay {
+		fmt.Fprintln(os.Stderr, "mpicollaudit: pick at least one of -summary, -drift, -replay")
+		os.Exit(2)
+	}
+
+	recs, err := audit.ReadLog(*logPath)
+	fail(err)
+	if len(recs) == 0 {
+		fail(fmt.Errorf("no records in %s", *logPath))
+	}
+
+	var report string
+	if *summary {
+		report += audit.Summarize(recs).Render()
+	}
+	if *drift {
+		if report != "" {
+			report += "\n"
+		}
+		report += audit.Drift(recs).Render()
+	}
+	if *replay {
+		rep, err := audit.Replay(recs, audit.ReplayOptions{Reps: *reps, MaxInstances: *maxInst})
+		fail(err)
+		if report != "" {
+			report += "\n"
+		}
+		report += rep.Render()
+	}
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	fail(os.WriteFile(*out, []byte(report), 0o644))
+	fmt.Fprintf(os.Stderr, "mpicollaudit: report -> %s\n", *out)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpicollaudit: %v\n", err)
+		os.Exit(1)
+	}
+}

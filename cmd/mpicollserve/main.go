@@ -19,10 +19,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"mpicollpred/internal/audit"
 	"mpicollpred/internal/obs"
 	"mpicollpred/internal/serve"
 )
@@ -34,6 +36,10 @@ func main() {
 		cacheSize = flag.Int("cache-size", 65536, "selection cache capacity in entries (<= -1 disables)")
 		shards    = flag.Int("cache-shards", 16, "selection cache shard count")
 		batchWrk  = flag.Int("batch-workers", 0, "per-request /v1/batch concurrency cap (0 = GOMAXPROCS, 1 = serial)")
+		auditPath = flag.String("audit", "", "append-only JSONL selection audit log (empty disables auditing)")
+		auditMax  = flag.Int64("audit-max-bytes", audit.DefaultMaxBytes, "audit log rotation threshold in bytes")
+		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for /debug/traces (0 disables tracing)")
+		sloLat    = flag.Duration("slo-latency", serve.DefaultLatencySLO, "per-request latency SLO for the burn-rate monitor")
 		verbose   = flag.Bool("v", false, "verbose (debug) logging")
 		quiet     = flag.Bool("quiet", false, "suppress informational logging")
 
@@ -44,6 +50,9 @@ func main() {
 		workers  = flag.Int("workers", 8, "loadgen: concurrent client goroutines")
 		seed     = flag.Uint64("seed", 1, "loadgen: instance-sequence seed")
 		batch    = flag.Int("batch", 0, "loadgen: POST /v1/batch with this many instances per request (0 = /v1/select)")
+		nodesCSV = flag.String("nodes", "", "loadgen: comma-separated node-count pool overriding the default")
+		ppnsCSV  = flag.String("ppns", "", "loadgen: comma-separated ppn pool overriding the default")
+		msizes   = flag.String("msizes", "", "loadgen: comma-separated message-size pool overriding the default")
 		out      = flag.String("out", "BENCH_serve.json", "loadgen: report file")
 	)
 	flag.Parse()
@@ -53,6 +62,8 @@ func main() {
 		runLoadgen(log, serve.LoadgenOptions{
 			URL: strings.TrimRight(*url, "/"), Model: *model,
 			Duration: *duration, Workers: *workers, Seed: *seed, Batch: *batch,
+			Nodes: parseIntPool(*nodesCSV, "-nodes"), PPNs: parseIntPool(*ppnsCSV, "-ppns"),
+			Msizes: parseInt64Pool(*msizes, "-msizes"),
 		}, *out)
 		return
 	}
@@ -68,12 +79,23 @@ func main() {
 		}
 	}
 
+	var auditLog *audit.Logger
+	if *auditPath != "" {
+		lg, err := audit.NewLogger(*auditPath, audit.LoggerOptions{MaxBytes: *auditMax})
+		fail(err)
+		auditLog = lg
+		log.Infof("auditing selections to %s (rotate at %d bytes)", *auditPath, *auditMax)
+	}
+
 	srv, err := serve.New(serve.Options{
 		SnapshotPaths: paths,
 		CacheSize:     *cacheSize,
 		CacheShards:   *shards,
 		BatchWorkers:  *batchWrk,
 		Log:           log,
+		Audit:         auditLog,
+		TraceRing:     *traceRing,
+		LatencySLO:    *sloLat,
 	})
 	fail(err)
 	log.Infof("serving models %v (generation %d)", srv.Registry().Names(), srv.Registry().Gen())
@@ -106,15 +128,46 @@ func main() {
 	}()
 
 	fail(srv.Serve(l))
+	if auditLog != nil {
+		if err := auditLog.Close(); err != nil {
+			log.Errorf("closing audit log: %v", err)
+		}
+	}
 	log.Infof("bye")
+}
+
+// parseInt64Pool parses a comma-separated loadgen pool override ("" keeps
+// the loadgen default).
+func parseInt64Pool(s, flagName string) []int64 {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || v < 1 {
+			fail(fmt.Errorf("bad %s entry %q", flagName, part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseIntPool(s, flagName string) []int {
+	var out []int
+	for _, v := range parseInt64Pool(s, flagName) {
+		out = append(out, int(v))
+	}
+	return out
 }
 
 func runLoadgen(log *obs.Logger, opts serve.LoadgenOptions, out string) {
 	log.Infof("loadgen: %d workers against %s for %s", opts.Workers, opts.URL, opts.Duration)
 	rep, err := serve.Loadgen(opts)
 	if rep.Requests > 0 {
-		log.Infof("loadgen: %d requests (%d cached, %d errors), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
-			rep.Requests, rep.CachedHits, rep.Errors, rep.QPS,
+		log.Infof("loadgen: %d requests (%.1f%% cached, %d fallbacks, %d errors), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
+			rep.Requests, 100*rep.CacheHitRatio, rep.Fallbacks, rep.Errors, rep.QPS,
 			rep.LatencyP50Us, rep.LatencyP90Us, rep.LatencyP99Us)
 		if rep.BatchSize > 0 {
 			log.Infof("loadgen: batches of %d -> %d instances, %.0f instances/s",

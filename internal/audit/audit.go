@@ -1,0 +1,98 @@
+// Package audit is the selection audit log of the serving stack: an
+// append-only JSONL stream recording every served tuning decision — the
+// instance, the chosen configuration, the predicted runtime, cache and
+// fallback state, and latency. The log is the raw material for the
+// observe-then-adapt loop (ROADMAP item 2): mpicollaudit summarizes it,
+// detects drift in it, and replays it through the simulator to compare
+// what the models promised against what the machine would have delivered.
+//
+// The package is on mpicollvet's deterministic-package list for the
+// wallclock analyzer: its single real-clock read is the explicitly audited
+// timestamp seam below, and everything else — including the Logger under
+// test — runs on an injected clock.
+package audit
+
+import (
+	"fmt"
+	"time"
+)
+
+// SchemaVersion identifies the record layout; bump on breaking changes so
+// mpicollaudit can reject logs it does not understand.
+const SchemaVersion = 1
+
+// Record is one served decision. Field names are the stable on-disk JSONL
+// schema (CI asserts every line of a live server's log parses into this).
+type Record struct {
+	// V is the schema version (SchemaVersion).
+	V int `json:"v"`
+	// TimeUnixUs is the decision timestamp in microseconds since the epoch.
+	TimeUnixUs int64 `json:"ts_us"`
+	// RequestID traces the decision back to the HTTP request (and through
+	// loadgen, to the generating worker).
+	RequestID string `json:"request_id"`
+	// Endpoint is the serving endpoint ("select" or "batch").
+	Endpoint string `json:"endpoint"`
+	// Model is the registry name of the serving model (e.g. "d1-gam").
+	Model string `json:"model"`
+	// Coll/Lib/Machine/Dataset identify what the model was trained for —
+	// enough for a replay to rebuild the simulated machine.
+	Coll    string `json:"coll"`
+	Lib     string `json:"lib"`
+	Machine string `json:"machine"`
+	Dataset string `json:"dataset"`
+	// Generation is the registry generation that answered.
+	Generation uint64 `json:"generation"`
+	// The instance.
+	Nodes int   `json:"nodes"`
+	PPN   int   `json:"ppn"`
+	Msize int64 `json:"msize"`
+	// The decision.
+	ConfigID int    `json:"config_id"`
+	AlgID    int    `json:"alg_id"`
+	Label    string `json:"label"`
+	// PredictedSeconds is nil when the guardrails fell back (their
+	// prediction is NaN by design).
+	PredictedSeconds *float64 `json:"predicted_seconds,omitempty"`
+	Cached           bool     `json:"cached"`
+	Fallback         bool     `json:"fallback,omitempty"`
+	FallbackReason   string   `json:"fallback_reason,omitempty"`
+	// LatencyUs is the server-side decision latency in microseconds.
+	LatencyUs int64 `json:"latency_us"`
+}
+
+// Validate checks the schema invariants every well-formed record satisfies;
+// the reader applies it line by line so a corrupt log fails loudly with a
+// line number instead of skewing a report.
+func (r Record) Validate() error {
+	switch {
+	case r.V != SchemaVersion:
+		return fmt.Errorf("schema version %d, want %d", r.V, SchemaVersion)
+	case r.TimeUnixUs <= 0:
+		return fmt.Errorf("non-positive timestamp %d", r.TimeUnixUs)
+	case r.RequestID == "":
+		return fmt.Errorf("empty request_id")
+	case r.Endpoint == "":
+		return fmt.Errorf("empty endpoint")
+	case r.Model == "" || r.Coll == "" || r.Lib == "" || r.Machine == "":
+		return fmt.Errorf("incomplete model identity %q/%q/%q/%q", r.Model, r.Coll, r.Lib, r.Machine)
+	case r.Nodes < 1 || r.PPN < 1 || r.Msize < 0:
+		return fmt.Errorf("invalid instance nodes=%d ppn=%d msize=%d", r.Nodes, r.PPN, r.Msize)
+	case r.ConfigID < 0:
+		return fmt.Errorf("negative config_id %d", r.ConfigID)
+	case !r.Fallback && r.PredictedSeconds == nil:
+		return fmt.Errorf("non-fallback record without predicted_seconds")
+	case r.Fallback && r.FallbackReason == "":
+		return fmt.Errorf("fallback record without fallback_reason")
+	case r.LatencyUs < 0:
+		return fmt.Errorf("negative latency %d", r.LatencyUs)
+	}
+	return nil
+}
+
+// realClock is the audit package's one wall-clock read: record timestamps
+// are run metadata, never simulated state, and tests pin the Logger's clock
+// instead of calling this.
+func realClock() time.Time {
+	return time.Now() //mpicollvet:ignore wallclock audit timestamps are real-time run metadata; the Logger clock is injectable and tests pin it
+}

@@ -1,0 +1,257 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpicollpred/internal/bench"
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/sim"
+	"mpicollpred/internal/tablefmt"
+)
+
+// ReplayOptions configures a replay run.
+type ReplayOptions struct {
+	// MaxInstances caps the unique decisions measured (default 64;
+	// stride-sampled deterministically when the log holds more).
+	MaxInstances int
+	// Reps is the simulated repetitions per measurement (default 2).
+	Reps int
+}
+
+// ReplayRow is one unique served decision re-measured in the simulator.
+type ReplayRow struct {
+	Model     string
+	Nodes     int
+	PPN       int
+	Msize     int64
+	Label     string
+	Predicted float64
+	Observed  float64
+	RelErr    float64 // (predicted - observed) / observed
+	Count     int     // log records that collapsed into this row
+}
+
+// ReplayModelStats aggregates one model's replay error.
+type ReplayModelStats struct {
+	Model           string
+	Rows            int
+	MeanAbsRelErr   float64
+	MedianAbsRelErr float64
+	WithinFactor2   float64 // fraction with observed/2 <= predicted <= 2*observed
+}
+
+// ReplayReport is the observed-vs-predicted comparison — the direct input
+// to telemetry-driven retraining (ROADMAP item 2).
+type ReplayReport struct {
+	Rows     []ReplayRow
+	Models   []ReplayModelStats
+	Skipped  int // fallback decisions (no prediction to compare)
+	Unique   int // unique decisions before the MaxInstances cap
+	Measured int
+}
+
+// replaySeedSalt keys replay measurements apart from every other consumer
+// of the simulator's seed space.
+const replaySeedSalt = 0xAD170
+
+// replayKey identifies one unique served decision.
+type replayKey struct {
+	model         string
+	mach, lib     string
+	coll          string
+	nodes, ppn    int
+	msize         int64
+	configID      int
+	predictedBits uint64
+}
+
+// Replay re-measures every unique served decision through the simulated
+// machine the model was trained for and compares the observation against
+// the served prediction. The measurement seed depends only on the decision
+// (never on log order or time), so the same log always replays to the same
+// report — byte for byte.
+func Replay(recs []Record, opts ReplayOptions) (*ReplayReport, error) {
+	if opts.MaxInstances <= 0 {
+		opts.MaxInstances = 64
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 2
+	}
+
+	type uniq struct {
+		key   replayKey
+		label string
+		count int
+	}
+	seen := map[replayKey]*uniq{}
+	rep := &ReplayReport{}
+	for _, r := range recs {
+		if r.PredictedSeconds == nil {
+			rep.Skipped++
+			continue
+		}
+		k := replayKey{model: r.Model, mach: r.Machine, lib: r.Lib, coll: r.Coll,
+			nodes: r.Nodes, ppn: r.PPN, msize: r.Msize, configID: r.ConfigID,
+			predictedBits: math.Float64bits(*r.PredictedSeconds)}
+		if u := seen[k]; u != nil {
+			u.count++
+			continue
+		}
+		seen[k] = &uniq{key: k, label: r.Label, count: 1}
+	}
+	uniques := make([]*uniq, 0, len(seen))
+	for _, u := range seen {
+		uniques = append(uniques, u)
+	}
+	sort.Slice(uniques, func(i, j int) bool {
+		a, b := uniques[i].key, uniques[j].key
+		if a.model != b.model {
+			return a.model < b.model
+		}
+		if a.nodes != b.nodes {
+			return a.nodes < b.nodes
+		}
+		if a.ppn != b.ppn {
+			return a.ppn < b.ppn
+		}
+		if a.msize != b.msize {
+			return a.msize < b.msize
+		}
+		if a.configID != b.configID {
+			return a.configID < b.configID
+		}
+		return a.predictedBits < b.predictedBits
+	})
+	rep.Unique = len(uniques)
+	if len(uniques) > opts.MaxInstances {
+		stride := len(uniques) / opts.MaxInstances
+		var sampled []*uniq
+		for i := 0; i < len(uniques) && len(sampled) < opts.MaxInstances; i += stride {
+			sampled = append(sampled, uniques[i])
+		}
+		uniques = sampled
+	}
+
+	// Resolve each (machine, lib, coll) world once.
+	type world struct {
+		mach   machine.Machine
+		set    *mpilib.CollectiveSet
+		runner *bench.Runner
+	}
+	worlds := map[[3]string]*world{}
+	resolve := func(k replayKey) (*world, error) {
+		wk := [3]string{k.mach, k.lib, k.coll}
+		if w := worlds[wk]; w != nil {
+			return w, nil
+		}
+		mach, err := machine.ByName(k.mach)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replay machine: %w", err)
+		}
+		lib, err := mpilib.ByName(k.lib)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replay library: %w", err)
+		}
+		set, err := lib.Collective(k.coll)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replay collective: %w", err)
+		}
+		o := bench.DefaultOptions(mach.Name)
+		o.MaxReps = opts.Reps
+		w := &world{mach: mach, set: set, runner: bench.NewRunner(o)}
+		worlds[wk] = w
+		return w, nil
+	}
+
+	for _, u := range uniques {
+		k := u.key
+		w, err := resolve(k)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := w.set.Config(k.configID)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replay config %d for %s: %w", k.configID, k.model, err)
+		}
+		topo, err := w.mach.Topo(k.nodes, k.ppn)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replay topology %dx%d: %w", k.nodes, k.ppn, err)
+		}
+		seed := sim.Seed(replaySeedSalt, uint64(k.configID), uint64(k.nodes), uint64(k.ppn), uint64(k.msize))
+		meas, err := w.runner.MeasureCapped(cfg, w.mach.Net, topo, k.msize, seed, opts.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("audit: replaying %s %dx%d m=%d: %w", k.model, k.nodes, k.ppn, k.msize, err)
+		}
+		observed := meas.Median()
+		predicted := math.Float64frombits(k.predictedBits)
+		rep.Rows = append(rep.Rows, ReplayRow{
+			Model: k.model, Nodes: k.nodes, PPN: k.ppn, Msize: k.msize, Label: u.label,
+			Predicted: predicted, Observed: observed,
+			RelErr: (predicted - observed) / observed,
+			Count:  u.count,
+		})
+	}
+	rep.Measured = len(rep.Rows)
+
+	// Per-model aggregates over the measured rows.
+	byModel := map[string][]ReplayRow{}
+	for _, row := range rep.Rows {
+		byModel[row.Model] = append(byModel[row.Model], row)
+	}
+	names := make([]string, 0, len(byModel))
+	for name := range byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := byModel[name]
+		var absErrs []float64
+		within := 0
+		for _, row := range rows {
+			absErrs = append(absErrs, math.Abs(row.RelErr))
+			if row.Predicted >= row.Observed/2 && row.Predicted <= row.Observed*2 {
+				within++
+			}
+		}
+		mean := 0.0
+		for _, e := range absErrs {
+			mean += e
+		}
+		mean /= float64(len(absErrs))
+		rep.Models = append(rep.Models, ReplayModelStats{
+			Model: name, Rows: len(rows),
+			MeanAbsRelErr:   mean,
+			MedianAbsRelErr: quantile(absErrs, 0.5),
+			WithinFactor2:   float64(within) / float64(len(rows)),
+		})
+	}
+	return rep, nil
+}
+
+// Render formats the replay report as byte-stable text.
+func (r *ReplayReport) Render() string {
+	t := &tablefmt.Table{
+		Title: "Replay: observed (simulated) vs predicted runtimes of served decisions",
+		Headers: []string{"model", "nodes", "ppn", "msize", "configuration",
+			"predicted s", "observed s", "rel err", "hits"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, tablefmt.I(row.Nodes), tablefmt.I(row.PPN), tablefmt.I64(row.Msize),
+			row.Label, tablefmt.G(row.Predicted), tablefmt.G(row.Observed),
+			tablefmt.F(row.RelErr, 3), tablefmt.I(row.Count))
+	}
+	agg := &tablefmt.Table{
+		Title:   "Replay error per model",
+		Headers: []string{"model", "rows", "mean |rel err|", "median |rel err|", "within 2x"},
+	}
+	for _, m := range r.Models {
+		agg.AddRow(m.Model, tablefmt.I(m.Rows), tablefmt.F(m.MeanAbsRelErr, 3),
+			tablefmt.F(m.MedianAbsRelErr, 3), ratio(int(m.WithinFactor2*float64(m.Rows)+0.5), m.Rows))
+	}
+	return t.String() + "\n" + agg.String() +
+		fmt.Sprintf("\nunique decisions: %d, measured: %d, fallback decisions skipped: %d\n",
+			r.Unique, r.Measured, r.Skipped)
+}

@@ -1,0 +1,96 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// replayFixture builds a small log: two unique decisions served repeatedly,
+// plus one fallback that replay must skip.
+func replayFixture() []Record {
+	var recs []Record
+	add := func(r Record) {
+		r.V = SchemaVersion
+		r.TimeUnixUs = int64(len(recs) + 1)
+		recs = append(recs, r)
+	}
+	for i := 0; i < 3; i++ {
+		add(mkRecord("a", 4, 8, 1024, 1.0e-4))
+	}
+	add(mkRecord("b", 8, 8, 4096, 2.0e-4))
+	add(mkFallback("c", 1<<40, "extrapolation"))
+	return recs
+}
+
+func TestReplayIsDeterministicAndDedupes(t *testing.T) {
+	recs := replayFixture()
+	rep, err := Replay(recs, ReplayOptions{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unique != 2 || rep.Measured != 2 {
+		t.Fatalf("unique=%d measured=%d, want 2/2", rep.Unique, rep.Measured)
+	}
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped=%d, want 1 (the fallback)", rep.Skipped)
+	}
+	if rep.Rows[0].Count != 3 || rep.Rows[1].Count != 1 {
+		t.Fatalf("dedupe counts %d/%d, want 3/1", rep.Rows[0].Count, rep.Rows[1].Count)
+	}
+	for _, row := range rep.Rows {
+		if !(row.Observed > 0) {
+			t.Fatalf("row %+v: non-positive observed runtime", row)
+		}
+	}
+	if len(rep.Models) != 1 || rep.Models[0].Model != "d1-gam" || rep.Models[0].Rows != 2 {
+		t.Fatalf("model aggregates: %+v", rep.Models)
+	}
+
+	// Same log, reversed order → byte-identical report.
+	rev := make([]Record, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	again, err := Replay(rev, ReplayOptions{Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != again.Render() {
+		t.Fatalf("replay depends on record order:\n%s\n--- vs ---\n%s", rep.Render(), again.Render())
+	}
+	for _, want := range []string{"d1-gam", "binomial", "Replay error per model", "fallback decisions skipped: 1"} {
+		if !strings.Contains(rep.Render(), want) {
+			t.Errorf("render missing %q:\n%s", want, rep.Render())
+		}
+	}
+}
+
+func TestReplayCapsInstances(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 10; i++ {
+		r := mkRecord("r", 4, 8, int64(1024*(i+1)), 1.0e-4)
+		r.V = SchemaVersion
+		r.TimeUnixUs = int64(i + 1)
+		recs = append(recs, r)
+	}
+	rep, err := Replay(recs, ReplayOptions{MaxInstances: 4, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unique != 10 {
+		t.Fatalf("unique=%d, want 10", rep.Unique)
+	}
+	if rep.Measured != 4 {
+		t.Fatalf("measured=%d, want 4", rep.Measured)
+	}
+}
+
+func TestReplayRejectsUnknownWorld(t *testing.T) {
+	r := mkRecord("r", 4, 8, 1024, 1.0e-4)
+	r.V = SchemaVersion
+	r.TimeUnixUs = 1
+	r.Machine = "NoSuchMachine"
+	if _, err := Replay([]Record{r}, ReplayOptions{Reps: 1}); err == nil {
+		t.Fatal("want error for unknown machine")
+	}
+}

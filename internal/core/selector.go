@@ -250,6 +250,25 @@ func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 	return out
 }
 
+// Tracer receives stage boundaries from a traced Select: StartSpan opens a
+// named child span and returns the closure that ends it. The serving layer
+// passes an obs request span here; a nil Tracer (the default everywhere
+// else) keeps Select on the untraced zero-overhead path.
+type Tracer interface {
+	StartSpan(name string) func()
+}
+
+// stage opens a named span on tr, tolerating a nil tracer. The shared no-op
+// keeps the untraced path allocation-free.
+func stage(tr Tracer, name string) func() {
+	if tr == nil {
+		return noopStageEnd
+	}
+	return tr.StartSpan(name)
+}
+
+var noopStageEnd = func() {}
+
 // Select returns the configuration with the smallest predicted running time
 // for the instance — the ArgMin box of the paper's Fig. 3. When a fallback
 // is installed (SetFallback), the guardrails vet the answer first: a query
@@ -259,21 +278,47 @@ func (s *Selector) PredictAllFeatures(f []float64) []Prediction {
 // plausible predictions are untouched — they return exactly what an
 // unguarded selector would.
 func (s *Selector) Select(nodes, ppn int, msize int64) Prediction {
+	return s.SelectTraced(nodes, ppn, msize, nil)
+}
+
+// SelectTraced is Select with per-stage spans reported to tr: "guardrails"
+// covers the envelope check, "argmin" the model sweep, "fallback" the
+// library-default decision. tr == nil is the plain Select.
+func (s *Selector) SelectTraced(nodes, ppn int, msize int64, tr Tracer) Prediction {
 	f := Features(nodes, ppn, msize)
 	if !s.guarded() {
-		return s.SelectFeatures(f)
+		return s.argminStage(f, tr)
 	}
-	if !s.envelope.Contains(f) {
-		return s.fallback(nodes, ppn, msize, "extrapolation")
+	endGuard := stage(tr, "guardrails")
+	contained := s.envelope.Contains(f)
+	endGuard()
+	if !contained {
+		return s.fallbackStage(nodes, ppn, msize, "extrapolation", tr)
 	}
-	best := s.SelectFeatures(f)
+	best := s.argminStage(f, tr)
 	if best.Fallback {
-		return s.fallback(nodes, ppn, msize, "no_model")
+		return s.fallbackStage(nodes, ppn, msize, "no_model", tr)
 	}
 	if env, ok := s.envelopes[best.ConfigID]; ok && !env.Plausible(best.Predicted, s.PlausibilitySlack) {
-		return s.fallback(nodes, ppn, msize, "implausible")
+		return s.fallbackStage(nodes, ppn, msize, "implausible", tr)
 	}
 	return best
+}
+
+// argminStage runs the model sweep under an "argmin" span.
+func (s *Selector) argminStage(f []float64, tr Tracer) Prediction {
+	end := stage(tr, "argmin")
+	p := s.SelectFeatures(f)
+	end()
+	return p
+}
+
+// fallbackStage runs the library-default decision under a "fallback" span.
+func (s *Selector) fallbackStage(nodes, ppn int, msize int64, reason string, tr Tracer) Prediction {
+	end := stage(tr, "fallback")
+	p := s.fallback(nodes, ppn, msize, reason)
+	end()
+	return p
 }
 
 // SelectFeatures is Select on an explicit feature vector (used by the

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"mpicollpred/internal/dataset"
+	"mpicollpred/internal/obs"
+)
+
+// recordingTracer captures stage names in call order.
+type recordingTracer struct{ stages []string }
+
+func (r *recordingTracer) StartSpan(name string) func() {
+	r.stages = append(r.stages, name)
+	return func() {}
+}
+
+func tracedSelector(t *testing.T) (*Selector, *dataset.Dataset) {
+	t.Helper()
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "linear", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.SetFallback(testMachine(t), set)
+	return sel, ds
+}
+
+func TestSelectTracedStagesAndEquivalence(t *testing.T) {
+	sel, _ := tracedSelector(t)
+
+	// In-envelope query: guardrails then argmin, and the traced answer must
+	// equal the untraced one exactly.
+	tr := &recordingTracer{}
+	want := sel.Select(4, 4, 1024)
+	got := sel.SelectTraced(4, 4, 1024, tr)
+	if got != want {
+		t.Errorf("traced selection %+v != untraced %+v", got, want)
+	}
+	if len(tr.stages) != 2 || tr.stages[0] != "guardrails" || tr.stages[1] != "argmin" {
+		t.Errorf("in-envelope stages = %v, want [guardrails argmin]", tr.stages)
+	}
+
+	// Out-of-envelope query: guardrails then fallback, never argmin.
+	tr = &recordingTracer{}
+	p := sel.SelectTraced(4, 4, 1<<40, tr)
+	if !p.Fallback || p.FallbackReason != "extrapolation" {
+		t.Fatalf("expected extrapolation fallback, got %+v", p)
+	}
+	if len(tr.stages) != 2 || tr.stages[0] != "guardrails" || tr.stages[1] != "fallback" {
+		t.Errorf("extrapolation stages = %v, want [guardrails fallback]", tr.stages)
+	}
+}
+
+func TestSelectTracedUnguardedSkipsGuardrailStage(t *testing.T) {
+	ds, set := testDataset(t)
+	sel, err := Train(ds, set, "linear", []int{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &recordingTracer{}
+	_ = sel.SelectTraced(4, 4, 1024, tr)
+	if len(tr.stages) != 1 || tr.stages[0] != "argmin" {
+		t.Errorf("unguarded stages = %v, want [argmin]", tr.stages)
+	}
+}
+
+// TestSelectTracedWithObsSpan wires the real obs span type through the
+// Tracer seam — the exact serve-path composition.
+func TestSelectTracedWithObsSpan(t *testing.T) {
+	sel, _ := tracedSelector(t)
+	ring := obs.NewSpanRing(4)
+	root := ring.StartRequest("req-1", "select")
+	_ = sel.SelectTraced(4, 4, 1024, root)
+	root.End()
+	traces := ring.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	names := map[string]bool{}
+	for _, sp := range traces[0].Spans {
+		names[sp.Name] = true
+	}
+	if !names["guardrails"] || !names["argmin"] {
+		t.Errorf("span names = %v, want guardrails+argmin children", names)
+	}
+}

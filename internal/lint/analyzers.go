@@ -2,9 +2,13 @@ package lint
 
 // DeterministicPackages are the import-path fragments of the packages that
 // must never read the wall clock: they advance simulated time only, and
-// their outputs must be bit-identical run to run (DESIGN §5).
+// their outputs must be bit-identical run to run (DESIGN §5). internal/audit
+// is on the list so its one timestamp seam (audit.realClock) stays an
+// explicitly audited ignore directive rather than an unreviewed time.Now —
+// everything else in the package runs on the Logger's injectable clock.
 var DeterministicPackages = []string{
 	"internal/sim", "internal/netmodel", "internal/fault", "internal/coll",
+	"internal/audit",
 }
 
 // PanicAllowedPackages are the import-path fragments whose panics a

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestQuantileWindowExactAndRolling(t *testing.T) {
+	w := NewQuantileWindow(4)
+	if !math.IsNaN(w.Quantile(0.5)) {
+		t.Error("empty window should answer NaN")
+	}
+	for _, v := range []float64{4, 1, 3, 2} {
+		w.Observe(v)
+	}
+	if got := w.Quantile(0); got != 1 {
+		t.Errorf("min = %g", got)
+	}
+	if got := w.Quantile(1); got != 4 {
+		t.Errorf("max = %g", got)
+	}
+	if got := w.Quantile(0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	// Rolling: pushing 10,10 evicts 4,1 → window {3,2,10,10}.
+	w.Observe(10)
+	w.Observe(10)
+	if got := w.Quantile(0.5); got != 6.5 {
+		t.Errorf("rolled median = %g, want 6.5", got)
+	}
+	if w.Len() != 4 || w.Count() != 6 {
+		t.Errorf("len=%d count=%d", w.Len(), w.Count())
+	}
+	w.Observe(math.NaN())
+	if w.Count() != 6 {
+		t.Error("NaN observation must be dropped")
+	}
+}
+
+func TestRateMonitorLevelsAndWarmup(t *testing.T) {
+	m := NewRateMonitor(0.5, 0.2, 0.6)
+	// One early event: rate spikes but warm-up keeps the level ok.
+	m.Observe(true)
+	if m.Level() != LevelOk {
+		t.Errorf("level during warm-up = %v", m.Level())
+	}
+	m.SetMinEvents(0)
+	if m.Level() != LevelBreach {
+		t.Errorf("level after warm-up override = %v (rate %g)", m.Level(), m.Rate())
+	}
+	// A run of quiet events decays the EWMA back through warn to ok.
+	seen := map[MonitorLevel]bool{m.Level(): true}
+	for i := 0; i < 20; i++ {
+		m.Observe(false)
+		seen[m.Level()] = true
+	}
+	if m.Level() != LevelOk {
+		t.Errorf("level after decay = %v (rate %g)", m.Level(), m.Rate())
+	}
+	if !seen[LevelWarn] {
+		t.Error("decay never passed through warn")
+	}
+	n, events, transitions := m.Stats()
+	if n != 21 || events != 1 || transitions < 2 {
+		t.Errorf("stats = %d/%d/%d", n, events, transitions)
+	}
+}
+
+// TestRateMonitorDeterministic proves the golden-testability contract: the
+// same observation sequence yields bit-identical monitor state.
+func TestRateMonitorDeterministic(t *testing.T) {
+	run := func() (float64, MonitorLevel) {
+		m := NewRateMonitor(0.05, 0.1, 0.3)
+		for i := 0; i < 500; i++ {
+			m.Observe(i%7 == 0)
+		}
+		return m.Rate(), m.Level()
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if math.Float64bits(r1) != math.Float64bits(r2) || l1 != l2 {
+		t.Errorf("monitor not deterministic: %v/%v vs %v/%v", r1, l1, r2, l2)
+	}
+}
+
+func TestBurnRateWindow(t *testing.T) {
+	b := NewBurnRate(0.9, 20) // 10% error budget over 20 requests
+	if b.Burn() != 0 || b.Level() != LevelOk {
+		t.Error("fresh monitor should be ok at burn 0")
+	}
+	for i := 0; i < 20; i++ {
+		b.Observe(true)
+	}
+	if b.Burn() != 0 {
+		t.Errorf("all-good burn = %g", b.Burn())
+	}
+	// Two bad of twenty = 10% bad = exactly the budget → burn 1.0 → warn.
+	b.Observe(false)
+	b.Observe(false)
+	if got := b.Burn(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("burn = %g, want 1.0", got)
+	}
+	if b.Level() != LevelWarn {
+		t.Errorf("level = %v, want warn", b.Level())
+	}
+	// All-bad window: burn 10x the budget → breach.
+	for i := 0; i < 20; i++ {
+		b.Observe(false)
+	}
+	if b.Level() != LevelBreach {
+		t.Errorf("level = %v (burn %g), want breach", b.Level(), b.Burn())
+	}
+	good, bad := b.Totals()
+	if good != 20 || bad != 22 {
+		t.Errorf("totals = %d/%d", good, bad)
+	}
+	// Rolling: a full window of good requests clears the breach.
+	for i := 0; i < 20; i++ {
+		b.Observe(true)
+	}
+	if b.Level() != LevelOk {
+		t.Errorf("level after recovery = %v", b.Level())
+	}
+}
+
+func TestMonitorLevelString(t *testing.T) {
+	if LevelOk.String() != "ok" || LevelWarn.String() != "warn" || LevelBreach.String() != "breach" {
+		t.Error("level strings drifted; /v1/telemetry and CI grep on these")
+	}
+}
+
+func TestMonitorsConcurrent(t *testing.T) {
+	w := NewQuantileWindow(64)
+	m := NewRateMonitor(0.05, 0.1, 0.3)
+	b := NewBurnRate(0.99, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(i))
+				m.Observe(i%9 == 0)
+				b.Observe(i%11 != 0)
+				_ = w.Quantile(0.9)
+				_ = m.Level()
+				_ = b.Burn()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Count() != 4000 {
+		t.Errorf("window count = %d", w.Count())
+	}
+	if n, _, _ := m.Stats(); n != 4000 {
+		t.Errorf("monitor count = %d", n)
+	}
+}

@@ -193,6 +193,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.P50 = h.quantileLocked(0.50)
 	s.P90 = h.quantileLocked(0.90)
 	s.P99 = h.quantileLocked(0.99)
+	s.Quantiles = []QuantileValue{
+		{Q: "p10", V: s.P10}, {Q: "p50", V: s.P50}, {Q: "p90", V: s.P90}, {Q: "p99", V: s.P99},
+	}
 	return s
 }
 
@@ -314,18 +317,29 @@ type GaugeSnapshot struct {
 	Value  float64 `json:"value"`
 }
 
-// HistogramSnapshot summarizes one histogram series.
+// QuantileValue is one labeled quantile of a histogram snapshot: Q is the
+// label ("p10", "p50", ...), V the estimate. Exported as an ordered array —
+// never a map — so the JSON schema is stable byte for byte.
+type QuantileValue struct {
+	Q string  `json:"q"`
+	V float64 `json:"v"`
+}
+
+// HistogramSnapshot summarizes one histogram series. The flat P10..P99
+// fields remain for existing readers; Quantiles carries the same estimates
+// with explicit labels, ascending, for schema-driven consumers.
 type HistogramSnapshot struct {
-	Name   string  `json:"name,omitempty"`
-	Labels Labels  `json:"labels,omitempty"`
-	Count  uint64  `json:"count"`
-	Sum    float64 `json:"sum"`
-	Min    float64 `json:"min"`
-	Max    float64 `json:"max"`
-	P10    float64 `json:"p10"`
-	P50    float64 `json:"p50"`
-	P90    float64 `json:"p90"`
-	P99    float64 `json:"p99"`
+	Name      string          `json:"name,omitempty"`
+	Labels    Labels          `json:"labels,omitempty"`
+	Count     uint64          `json:"count"`
+	Sum       float64         `json:"sum"`
+	Min       float64         `json:"min"`
+	Max       float64         `json:"max"`
+	P10       float64         `json:"p10"`
+	P50       float64         `json:"p50"`
+	P90       float64         `json:"p90"`
+	P99       float64         `json:"p99"`
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every series, ordered deterministically

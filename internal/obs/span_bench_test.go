@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// The tracing-off contract: a disabled ring (nil *SpanRing) must cost the
+// serving hot path nothing. The benchmark twin measures both states; the
+// allocation test pins the off path to literally zero allocations, so a
+// regression fails rather than just drifting.
+
+func runSpanPath(r *SpanRing) {
+	root := r.StartRequest("req", "select")
+	c := root.StartChild("cache")
+	c.SetTag("cache", "hit")
+	c.End()
+	end := root.StartSpan("argmin")
+	end()
+	root.End()
+}
+
+func BenchmarkSpanPathOff(b *testing.B) {
+	var r *SpanRing
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSpanPath(r)
+	}
+}
+
+func BenchmarkSpanPathOn(b *testing.B) {
+	r := NewSpanRing(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSpanPath(r)
+	}
+}
+
+func TestSpanPathOffZeroAlloc(t *testing.T) {
+	var r *SpanRing
+	if allocs := testing.AllocsPerRun(1000, func() { runSpanPath(r) }); allocs != 0 {
+		t.Errorf("disabled tracing path allocates %.1f objects per request, want 0", allocs)
+	}
+}

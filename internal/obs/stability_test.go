@@ -120,3 +120,45 @@ func TestTraceWriteJSONDoesNotReorderRecording(t *testing.T) {
 		t.Errorf("Len() = %d after rendering, want 2", tr.Len())
 	}
 }
+
+// TestHistogramQuantileLabelsStable pins the /metrics JSON schema for
+// quantiles: an ordered array of labeled values (never a map), ascending,
+// identical across snapshots of equal state.
+func TestHistogramQuantileLabelsStable(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("serve_request_seconds", Labels{"endpoint": "select"})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-4)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("got %d histograms", len(s.Histograms))
+	}
+	qs := s.Histograms[0].Quantiles
+	want := []string{"p10", "p50", "p90", "p99"}
+	if len(qs) != len(want) {
+		t.Fatalf("got %d quantile labels, want %d", len(qs), len(want))
+	}
+	for i, q := range qs {
+		if q.Q != want[i] {
+			t.Errorf("quantile %d labeled %q, want %q", i, q.Q, want[i])
+		}
+		if i > 0 && qs[i].V < qs[i-1].V {
+			t.Errorf("quantiles not ascending: %v", qs)
+		}
+	}
+	if qs[1].V != s.Histograms[0].P50 {
+		t.Errorf("labeled p50 %g disagrees with flat field %g", qs[1].V, s.Histograms[0].P50)
+	}
+
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("snapshot JSON with quantile labels is not byte-stable")
+	}
+}

@@ -56,6 +56,8 @@ type LoadgenReport struct {
 	Instances       int64   `json:"instances"`
 	Errors          int64   `json:"errors"`
 	CachedHits      int64   `json:"cached_hits"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	Fallbacks       int64   `json:"fallbacks"`
 	QPS             float64 `json:"qps"`
 	InstancesPerSec float64 `json:"instances_per_sec"`
 	LatencyP50Us    float64 `json:"latency_p50_us"`
@@ -88,6 +90,7 @@ type loadgenWorker struct {
 	instances int64
 	errors    int64
 	cached    int64
+	fallbacks int64
 	latencies []float64 // seconds
 }
 
@@ -123,22 +126,28 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 					Msize: opts.Msizes[rng.Intn(len(opts.Msizes))],
 				}
 			}
-			for time.Now().Before(deadline) {
-				var cached, instances int64
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				// Propagate a worker-scoped request id so every audit line
+				// and trace of this run points back at its generator.
+				reqID := fmt.Sprintf("lg%d-w%d-%d", opts.Seed, wi, seq)
+				var cached, fallbacks, instances int64
 				var err error
 				t0 := time.Now()
 				if opts.Batch > 0 {
 					instances = int64(opts.Batch)
-					cached, err = doBatch(client, opts.URL, opts.Model, draw, opts.Batch)
+					cached, fallbacks, err = doBatch(client, opts.URL, opts.Model, reqID, draw, opts.Batch)
 				} else {
 					instances = 1
 					in := draw()
 					url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
 						opts.URL, opts.Model, in.Nodes, in.PPN, in.Msize)
-					var hit bool
-					hit, err = doSelect(client, url)
+					var hit, fb bool
+					hit, fb, err = doSelect(client, url, reqID)
 					if hit {
 						cached = 1
+					}
+					if fb {
+						fallbacks = 1
 					}
 				}
 				w.latencies = append(w.latencies, time.Since(t0).Seconds())
@@ -151,6 +160,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 					continue
 				}
 				w.cached += cached
+				w.fallbacks += fallbacks
 			}
 		}(wi)
 	}
@@ -164,7 +174,11 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 		rep.Instances += workers[i].instances
 		rep.Errors += workers[i].errors
 		rep.CachedHits += workers[i].cached
+		rep.Fallbacks += workers[i].fallbacks
 		all = append(all, workers[i].latencies...)
+	}
+	if rep.Instances > 0 {
+		rep.CacheHitRatio = float64(rep.CachedHits) / float64(rep.Instances)
 	}
 	if rep.DurationSeconds > 0 {
 		rep.QPS = float64(rep.Requests) / rep.DurationSeconds
@@ -183,66 +197,83 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	return rep, nil
 }
 
-// doSelect issues one /v1/select and reports whether the answer was cached.
-func doSelect(client *http.Client, url string) (bool, error) {
-	resp, err := client.Get(url)
+// doSelect issues one /v1/select and reports whether the answer was cached
+// and whether it was a fallback.
+func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return false, err
+		return false, false, err
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		return false, false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if echo := resp.Header.Get("X-Request-Id"); echo != reqID {
+		return false, false, fmt.Errorf("request id not propagated: sent %q, got %q", reqID, echo)
 	}
 	var sr SelectResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return false, err
+		return false, false, err
 	}
-	return sr.Cached, nil
+	return sr.Cached, sr.Fallback, nil
 }
 
 // doBatch posts one /v1/batch of n drawn instances and returns how many of
-// its entries were answered from the cache. Any per-entry error counts as a
-// request error: the pool only draws valid instances, so an entry-level
-// failure means the server mishandled the batch.
-func doBatch(client *http.Client, baseURL, model string, draw func() InstanceRequest, n int) (int64, error) {
+// its entries were answered from the cache and how many fell back. Any
+// per-entry error counts as a request error: the pool only draws valid
+// instances, so an entry-level failure means the server mishandled the batch.
+func doBatch(client *http.Client, baseURL, model, reqID string, draw func() InstanceRequest, n int) (cached, fallbacks int64, err error) {
 	req := BatchRequest{Model: model, Instances: make([]InstanceRequest, n)}
 	for i := range req.Instances {
 		req.Instances[i] = draw()
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	resp, err := client.Post(baseURL+"/v1/batch", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-Id", reqID)
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return 0, 0, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		return 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(br.Results) != n {
-		return 0, fmt.Errorf("batch of %d answered with %d results", n, len(br.Results))
+		return 0, 0, fmt.Errorf("batch of %d answered with %d results", n, len(br.Results))
 	}
-	var cached int64
 	for i, res := range br.Results {
 		if res.Error != "" {
-			return cached, fmt.Errorf("batch entry %d: %s", i, res.Error)
+			return cached, fallbacks, fmt.Errorf("batch entry %d: %s", i, res.Error)
 		}
 		if res.InstanceRequest != req.Instances[i] {
-			return cached, fmt.Errorf("batch entry %d echoes %+v, sent %+v", i, res.InstanceRequest, req.Instances[i])
+			return cached, fallbacks, fmt.Errorf("batch entry %d echoes %+v, sent %+v", i, res.InstanceRequest, req.Instances[i])
 		}
 		if res.Cached {
 			cached++
 		}
+		if res.Fallback {
+			fallbacks++
+		}
 	}
-	return cached, nil
+	return cached, fallbacks, nil
 }
 
 // quantileUs returns the q-th quantile of sorted seconds, in microseconds.

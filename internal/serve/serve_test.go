@@ -27,7 +27,7 @@ var trainedModels struct {
 	err  error
 }
 
-func testModels(t *testing.T) (*dataset.Dataset, *Model, *Model) {
+func testModels(t testing.TB) (*dataset.Dataset, *Model, *Model) {
 	t.Helper()
 	trainedModels.once.Do(func() {
 		spec, err := dataset.SpecByName("d2", dataset.ScaleSmoke)

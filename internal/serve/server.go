@@ -7,12 +7,18 @@
 //
 // Endpoints:
 //
-//	GET/POST /v1/select   one tuning decision for an instance
-//	GET/POST /v1/predict  every configuration's predicted time, ranked
-//	POST     /v1/batch    many decisions in one round trip
-//	POST     /v1/reload   reload snapshots from disk (also SIGHUP)
-//	GET      /healthz     liveness + loaded-model inventory
-//	GET      /metrics     obs registry snapshot (text, ?format=json)
+//	GET/POST /v1/select    one tuning decision for an instance
+//	GET/POST /v1/predict   every configuration's predicted time, ranked
+//	POST     /v1/batch     many decisions in one round trip
+//	POST     /v1/reload    reload snapshots from disk (also SIGHUP)
+//	GET      /v1/telemetry drift + SLO monitor states
+//	GET      /healthz      liveness + loaded-model inventory
+//	GET      /metrics      obs registry snapshot (text, ?format=json)
+//	GET      /debug/traces recent request traces (JSON, ?format=chrome)
+//
+// Every request carries an X-Request-Id (caller-provided or assigned) that
+// threads through the span tree, the response header, and the audit log —
+// one id connects a loadgen worker, its trace, and its audit lines.
 package serve
 
 import (
@@ -30,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpicollpred/internal/audit"
 	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/obs"
@@ -52,6 +59,15 @@ type Options struct {
 	Log *obs.Logger
 	// Metrics is the registry the server reports into (default obs.Default).
 	Metrics *obs.Registry
+	// Audit is the selection audit log; nil disables auditing.
+	Audit *audit.Logger
+	// TraceRing is how many recent request traces /debug/traces keeps;
+	// 0 (the default) disables tracing entirely — the request path then
+	// takes the zero-allocation no-op spans.
+	TraceRing int
+	// LatencySLO is the per-request latency objective of the latency burn
+	// monitor (default DefaultLatencySLO).
+	LatencySLO time.Duration
 }
 
 // Server answers tuning queries from a registry of loaded models.
@@ -61,6 +77,10 @@ type Server struct {
 	paths        []string
 	log          *obs.Logger
 	metrics      *obs.Registry
+	auditLog     *audit.Logger
+	ring         *obs.SpanRing // nil when tracing is off
+	tel          *Telemetry
+	reqSeq       atomic.Uint64
 	mux          *http.ServeMux
 	httpSrv      *http.Server
 	batchWorkers int
@@ -94,6 +114,9 @@ func New(opts Options) (*Server, error) {
 		paths:        append([]string(nil), opts.SnapshotPaths...),
 		log:          opts.Log,
 		metrics:      opts.Metrics,
+		auditLog:     opts.Audit,
+		ring:         obs.NewSpanRing(opts.TraceRing),
+		tel:          newTelemetry(opts.LatencySLO),
 		batchWorkers: opts.BatchWorkers,
 	}
 	if len(s.paths) > 0 {
@@ -106,8 +129,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("/v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.Handle("/v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.Handle("/v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.Handle("/v1/telemetry", s.instrument("telemetry", s.handleTelemetry))
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("/debug/traces", s.instrument("traces", s.handleTraces))
 	return s, nil
 }
 
@@ -116,6 +141,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Cache exposes the selection cache.
 func (s *Server) Cache() *SelectionCache { return s.cache }
+
+// Telemetry exposes the drift/SLO monitors.
+func (s *Server) Telemetry() *Telemetry { return s.tel }
+
+// TraceRing exposes the recent-trace ring (nil when tracing is off).
+func (s *Server) TraceRing() *obs.SpanRing { return s.ring }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -147,14 +178,47 @@ func (s *Server) Reload() error {
 	return s.reg.Load(s.paths)
 }
 
-// instrument wraps a handler with the per-endpoint latency histogram and
-// request counter.
+// ctxKey keys the per-request info in the request context.
+type ctxKey int
+
+const reqCtxKey ctxKey = 0
+
+// reqInfo is what the middleware threads to the handlers: the request id
+// (header-provided or assigned) and the root span (nil when tracing is off).
+type reqInfo struct {
+	id   string
+	span *obs.Span
+}
+
+// reqFrom recovers the request info; handlers invoked directly (tests) get
+// an anonymous id and no span.
+func reqFrom(r *http.Request) reqInfo {
+	if ri, ok := r.Context().Value(reqCtxKey).(reqInfo); ok {
+		return ri
+	}
+	return reqInfo{id: "untracked"}
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram,
+// request counter, SLO burn accounting, request-id propagation and the
+// request's root span.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.Handler {
 	hist := s.metrics.Histogram("serve_request_seconds", obs.Labels{"endpoint": name})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		sp := s.ring.StartRequest(id, name) // nil-safe: nil ring → nil span
+		r = r.WithContext(context.WithValue(r.Context(), reqCtxKey, reqInfo{id: id, span: sp}))
 		t0 := time.Now()
 		code := h(w, r)
-		hist.Observe(time.Since(t0).Seconds())
+		elapsed := time.Since(t0)
+		sp.SetTag("code", strconv.Itoa(code))
+		sp.End()
+		s.tel.ObserveRequest(code, elapsed)
+		hist.Observe(elapsed.Seconds())
 		s.metrics.Counter("serve_requests_total",
 			obs.Labels{"endpoint": name, "code": strconv.Itoa(code)}).Inc()
 	})
@@ -270,34 +334,77 @@ func (s *Server) resolve(w http.ResponseWriter, req SelectRequest) (*modelSet, *
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) int {
+	ri := reqFrom(r)
+	endParse := ri.span.StartSpan("parse")
 	req, err := parseSelectRequest(r)
+	endParse()
 	if err != nil {
 		if errors.Is(err, errMethod) {
 			return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
 		}
 		return s.writeError(w, http.StatusBadRequest, "%v", err)
 	}
+	endResolve := ri.span.StartSpan("resolve")
 	set, m, code := s.resolve(w, req)
+	endResolve()
 	if m == nil {
 		return code
 	}
-	p, cached := s.selectCached(set, m, req.InstanceRequest)
+	t0 := time.Now()
+	p, cached := s.selectCached(set, m, req.InstanceRequest, ri.span)
+	d := toDecision(p, cached)
+	s.observeDecision(ri, "select", set, m, req.InstanceRequest, d, time.Since(t0))
 	return s.writeJSON(w, http.StatusOK, SelectResponse{
 		Model: m.Name, Coll: m.Sel.Coll,
 		InstanceRequest: req.InstanceRequest,
-		Decision:        toDecision(p, cached),
+		Decision:        d,
 	})
 }
 
-// selectCached answers one instance through the cache.
-func (s *Server) selectCached(set *modelSet, m *Model, in InstanceRequest) (core.Prediction, bool) {
+// selectCached answers one instance through the cache; sp (nil when tracing
+// is off) gets "cache" and selector-stage child spans.
+func (s *Server) selectCached(set *modelSet, m *Model, in InstanceRequest, sp *obs.Span) (core.Prediction, bool) {
 	key := CacheKey{Gen: set.gen, Model: m.Name, Nodes: in.Nodes, PPN: in.PPN, Msize: in.Msize}
+	c := sp.StartChild("cache")
 	if p, ok := s.cache.Get(key); ok {
+		c.SetTag("result", "hit")
+		c.End()
 		return p, true
 	}
-	p := m.Sel.Select(in.Nodes, in.PPN, in.Msize)
+	c.SetTag("result", "miss")
+	c.End()
+	var tr core.Tracer
+	if sp != nil {
+		tr = sp
+	}
+	p := m.Sel.SelectTraced(in.Nodes, in.PPN, in.Msize, tr)
 	s.cache.Put(key, p)
 	return p, false
+}
+
+// observeDecision is the telemetry seam every served decision passes
+// through: the drift monitors see it, and (when auditing is on) it becomes
+// one JSONL line keyed by the request id.
+func (s *Server) observeDecision(ri reqInfo, endpoint string, set *modelSet, m *Model,
+	in InstanceRequest, d Decision, latency time.Duration) {
+	s.tel.ObserveDecision(m.Name, d)
+	if s.auditLog == nil {
+		return
+	}
+	err := s.auditLog.Append(audit.Record{
+		RequestID: ri.id, Endpoint: endpoint,
+		Model: m.Name, Coll: m.Sel.Coll,
+		Lib: m.Fp.Lib, Machine: m.Fp.Machine, Dataset: m.Fp.Dataset,
+		Generation: set.gen,
+		Nodes:      in.Nodes, PPN: in.PPN, Msize: in.Msize,
+		ConfigID: d.ConfigID, AlgID: d.AlgID, Label: d.Label,
+		PredictedSeconds: d.PredictedSeconds, Cached: d.Cached,
+		Fallback: d.Fallback, FallbackReason: d.FallbackReason,
+		LatencyUs: latency.Microseconds(),
+	})
+	if err != nil && s.log != nil {
+		s.log.Debugf("serve: audit append: %v", err)
+	}
 }
 
 // PredictResponse ranks every configuration for the instance.
@@ -374,6 +481,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return s.writeError(w, http.StatusNotFound, "%v", err)
 	}
+	ri := reqFrom(r)
+	ri.span.SetTag("instances", strconv.Itoa(len(req.Instances)))
 	resp := BatchResponse{Model: m.Name, Coll: m.Sel.Coll, Results: make([]BatchResult, len(req.Instances))}
 	s.metrics.Counter("serve_batch_instances_total", nil).Add(int64(len(req.Instances)))
 
@@ -387,7 +496,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	}
 	if workers <= 1 {
 		for i, in := range req.Instances {
-			s.batchOne(set, m, in, &resp.Results[i])
+			s.batchOne(ri, set, m, in, &resp.Results[i])
 		}
 		return s.writeJSON(w, http.StatusOK, resp)
 	}
@@ -402,7 +511,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				if i >= len(req.Instances) {
 					return
 				}
-				s.batchOne(set, m, req.Instances[i], &resp.Results[i])
+				s.batchOne(ri, set, m, req.Instances[i], &resp.Results[i])
 			}
 		}()
 	}
@@ -411,15 +520,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 }
 
 // batchOne answers one batch entry in place; an invalid instance gets a
-// per-entry error without failing the rest of the batch.
-func (s *Server) batchOne(set *modelSet, m *Model, in InstanceRequest, out *BatchResult) {
+// per-entry error without failing the rest of the batch. Valid entries are
+// audited individually under the batch's request id (batch entries don't get
+// per-entry spans — a 10000-instance batch would drown the trace ring).
+func (s *Server) batchOne(ri reqInfo, set *modelSet, m *Model, in InstanceRequest, out *BatchResult) {
 	out.InstanceRequest = in
 	if err := dataset.CheckInstance(in.Nodes, in.PPN, in.Msize); err != nil {
 		out.Error = err.Error()
 		return
 	}
-	p, cached := s.selectCached(set, m, in)
+	t0 := time.Now()
+	p, cached := s.selectCached(set, m, in, nil)
 	out.Decision = toDecision(p, cached)
+	s.observeDecision(ri, "batch", set, m, in, out.Decision, time.Since(t0))
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
@@ -480,14 +593,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	return s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleTelemetry serves the drift and SLO monitor states.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return s.writeError(w, http.StatusMethodNotAllowed, "GET the telemetry snapshot")
+	}
+	return s.writeJSON(w, http.StatusOK, s.tel.Snapshot(s.ring))
+}
+
+// handleTraces serves the recent-trace ring, as JSON or (?format=chrome) in
+// the Chrome trace-event format shared with the simulator timelines.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return s.writeError(w, http.StatusMethodNotAllowed, "GET the trace ring")
+	}
+	var err error
+	if strings.EqualFold(r.URL.Query().Get("format"), "chrome") {
+		w.Header().Set("Content-Type", "application/json")
+		err = s.ring.WriteChrome(w)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		err = s.ring.WriteJSON(w)
+	}
+	if err != nil && s.log != nil {
+		s.log.Debugf("serve: writing traces: %v", err)
+	}
+	return http.StatusOK
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
-	// Mirror the cache counters into the registry so one scrape has both
-	// HTTP and cache health.
+	// Mirror the cache counters and monitor states into the registry so one
+	// scrape has HTTP, cache, drift and SLO health together.
 	hits, misses, evict := s.cache.Stats()
 	s.metrics.Gauge("serve_cache_hits_total", nil).Set(float64(hits))
 	s.metrics.Gauge("serve_cache_misses_total", nil).Set(float64(misses))
 	s.metrics.Gauge("serve_cache_evictions_total", nil).Set(float64(evict))
 	s.metrics.Gauge("serve_cache_entries", nil).Set(float64(s.cache.Len()))
+	s.tel.mirror(s.metrics, s.ring)
 
 	var err error
 	if strings.EqualFold(r.URL.Query().Get("format"), "json") {

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+
+	"mpicollpred/internal/obs"
+)
+
+// Benchmark twins for the acceptance bound that tracing must cost the
+// /v1/select path ≤10% at p99 when on, and nothing when off:
+//
+//	go test ./internal/serve/ -bench BenchmarkSelectPath -benchmem
+//
+// The off twin must show identical allocs/op to the pre-telemetry selector
+// path (TestUntracedSelectAddsNoAllocations pins the stronger claim).
+func benchmarkSelectPath(b *testing.B, traceRing int) {
+	_, knn, _ := testModels(b)
+	// Cache disabled: every iteration takes the full selector path, the
+	// worst case for tracing overhead.
+	s, err := New(Options{CacheSize: -1, Metrics: obs.NewRegistry(), TraceRing: traceRing})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Registry().Install(knn); err != nil {
+		b.Fatal(err)
+	}
+	set := s.reg.view()
+	m, err := set.get("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := InstanceRequest{Nodes: 2, PPN: 4, Msize: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sp *obs.Span
+		if s.ring != nil {
+			sp = s.ring.StartRequest("bench", "select")
+		}
+		s.selectCached(set, m, in, sp)
+		sp.End()
+	}
+}
+
+func BenchmarkSelectPathTracingOff(b *testing.B) { benchmarkSelectPath(b, 0) }
+func BenchmarkSelectPathTracingOn(b *testing.B)  { benchmarkSelectPath(b, 64) }
+
+// TestUntracedSelectAddsNoAllocations proves the off-by-default path is
+// free: Select and SelectTraced-with-nil-tracer allocate identically.
+func TestUntracedSelectAddsNoAllocations(t *testing.T) {
+	_, knn, _ := testModels(t)
+	plain := testing.AllocsPerRun(200, func() {
+		knn.Sel.Select(2, 4, 1024)
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		knn.Sel.SelectTraced(2, 4, 1024, nil)
+	})
+	if traced != plain {
+		t.Fatalf("SelectTraced(nil) allocates %.1f/op, Select %.1f/op — tracing off is not free", traced, plain)
+	}
+}
