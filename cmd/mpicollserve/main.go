@@ -3,12 +3,21 @@
 // HTTP/JSON, with a sharded selection cache, atomic hot reload (SIGHUP or
 // POST /v1/reload), and graceful shutdown on SIGINT/SIGTERM.
 //
-// It doubles as the load-generation client (-loadgen) used by CI to
-// benchmark a running server and write BENCH_serve.json.
+// Three auxiliary modes turn one binary into a whole serving fleet:
+//
+//   - -router fronts N replicas with health-checked, consistent-hash
+//     routing, retries, circuit breakers, hedged requests, and the canary
+//     rollout endpoint (POST /fleet/rollout).
+//   - -chaos wraps a replica in the deterministic fault injector
+//     (seeded delays, 5xx bursts, dropped connections) for resilience
+//     drills and CI smoke tests.
+//   - -loadgen is the load-generation client used by CI to benchmark a
+//     server — or, with -urls, a whole fleet — and write BENCH_serve.json.
 //
 // Usage:
 //
 //	mpicollserve -models d1-gam.snap,d2-knn.snap -addr :8080
+//	mpicollserve -router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
 //	mpicollserve -loadgen -url http://127.0.0.1:8080 -duration 10s -out BENCH_serve.json
 package main
 
@@ -17,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -25,30 +35,46 @@ import (
 	"time"
 
 	"mpicollpred/internal/audit"
+	"mpicollpred/internal/fault"
+	"mpicollpred/internal/fleet"
 	"mpicollpred/internal/obs"
 	"mpicollpred/internal/serve"
 )
 
 func main() {
 	var (
-		models    = flag.String("models", "", "comma-separated model snapshot files to serve")
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		cacheSize = flag.Int("cache-size", 65536, "selection cache capacity in entries (<= -1 disables)")
-		shards    = flag.Int("cache-shards", 16, "selection cache shard count")
-		batchWrk  = flag.Int("batch-workers", 0, "per-request /v1/batch concurrency cap (0 = GOMAXPROCS, 1 = serial)")
-		auditPath = flag.String("audit", "", "append-only JSONL selection audit log (empty disables auditing)")
-		auditMax  = flag.Int64("audit-max-bytes", audit.DefaultMaxBytes, "audit log rotation threshold in bytes")
-		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for /debug/traces (0 disables tracing)")
-		sloLat    = flag.Duration("slo-latency", serve.DefaultLatencySLO, "per-request latency SLO for the burn-rate monitor")
-		verbose   = flag.Bool("v", false, "verbose (debug) logging")
-		quiet     = flag.Bool("quiet", false, "suppress informational logging")
+		models     = flag.String("models", "", "comma-separated model snapshot files to serve")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheSize  = flag.Int("cache-size", 65536, "selection cache capacity in entries (<= -1 disables)")
+		shards     = flag.Int("cache-shards", 16, "selection cache shard count")
+		batchWrk   = flag.Int("batch-workers", 0, "per-request /v1/batch concurrency cap (0 = GOMAXPROCS, 1 = serial)")
+		auditPath  = flag.String("audit", "", "append-only JSONL selection audit log (empty disables auditing)")
+		auditMax   = flag.Int64("audit-max-bytes", audit.DefaultMaxBytes, "audit log rotation threshold in bytes")
+		traceRing  = flag.Int("trace-ring", 0, "recent request traces kept for /debug/traces (0 disables tracing)")
+		sloLat     = flag.Duration("slo-latency", serve.DefaultLatencySLO, "per-request latency SLO for the burn-rate monitor")
+		chaos      = flag.String("chaos", "", `server: seeded HTTP chaos spec, e.g. "delay:prob=0.2,ms=25;err:prob=0.1,code=503" (resilience drills)`)
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "server: chaos plan seed")
+		drainGrace = flag.Duration("drain-grace", 0, "server: pause between flipping /readyz and closing the listener on SIGTERM, giving routers time to notice")
+		verbose    = flag.Bool("v", false, "verbose (debug) logging")
+		quiet      = flag.Bool("quiet", false, "suppress informational logging")
+
+		router    = flag.Bool("router", false, "run as the fleet router fronting -replicas instead of a server")
+		replicas  = flag.String("replicas", "", "router: comma-separated replica base URLs")
+		probeInt  = flag.Duration("probe-interval", 250*time.Millisecond, "router: health-probe period")
+		probeTO   = flag.Duration("probe-timeout", time.Second, "router: health-probe timeout")
+		hedge     = flag.Duration("hedge-after", 25*time.Millisecond, "router: hedge /v1/select and /v1/predict after this delay (negative disables)")
+		brkThresh = flag.Int("breaker-threshold", 5, "router: consecutive failures that open a replica's breaker")
+		brkCool   = flag.Duration("breaker-cooldown", 2*time.Second, "router: breaker open -> half-open delay")
+		retries   = flag.Int("retries", 0, "router/loadgen: transient-failure retries (0 = default)")
+		retryBase = flag.Duration("retry-base", 0, "router/loadgen: retry backoff unit (0 = default)")
 
 		loadgen  = flag.Bool("loadgen", false, "run as a load-generation client instead of a server")
 		url      = flag.String("url", "http://127.0.0.1:8080", "loadgen: server base URL")
+		urls     = flag.String("urls", "", "loadgen: comma-separated base URLs for multi-target fleet load (overrides -url)")
 		model    = flag.String("model", "", "loadgen: model name to query (empty works for single-model servers)")
 		duration = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		workers  = flag.Int("workers", 8, "loadgen: concurrent client goroutines")
-		seed     = flag.Uint64("seed", 1, "loadgen: instance-sequence seed")
+		seed     = flag.Uint64("seed", 1, "loadgen instance-sequence / router jitter seed")
 		batch    = flag.Int("batch", 0, "loadgen: POST /v1/batch with this many instances per request (0 = /v1/select)")
 		nodesCSV = flag.String("nodes", "", "loadgen: comma-separated node-count pool overriding the default")
 		ppnsCSV  = flag.String("ppns", "", "loadgen: comma-separated ppn pool overriding the default")
@@ -60,11 +86,27 @@ func main() {
 
 	if *loadgen {
 		runLoadgen(log, serve.LoadgenOptions{
-			URL: strings.TrimRight(*url, "/"), Model: *model,
+			URL: strings.TrimRight(*url, "/"), URLs: splitList(*urls), Model: *model,
 			Duration: *duration, Workers: *workers, Seed: *seed, Batch: *batch,
+			Retries: *retries, RetryBase: *retryBase,
 			Nodes: parseIntPool(*nodesCSV, "-nodes"), PPNs: parseIntPool(*ppnsCSV, "-ppns"),
 			Msizes: parseInt64Pool(*msizes, "-msizes"),
 		}, *out)
+		return
+	}
+	if *router {
+		runRouter(log, fleet.Options{
+			Replicas:         splitList(*replicas),
+			ProbeInterval:    *probeInt,
+			ProbeTimeout:     *probeTO,
+			Retries:          *retries,
+			RetryBase:        *retryBase,
+			HedgeAfter:       *hedge,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Seed:             *seed,
+			Log:              log,
+		}, *addr)
 		return
 	}
 
@@ -72,12 +114,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpicollserve: -models is required (snapshots from `mpicolltune -save`)")
 		os.Exit(2)
 	}
-	var paths []string
-	for _, p := range strings.Split(*models, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			paths = append(paths, p)
-		}
-	}
+	paths := splitList(*models)
 
 	var auditLog *audit.Logger
 	if *auditPath != "" {
@@ -85,6 +122,14 @@ func main() {
 		fail(err)
 		auditLog = lg
 		log.Infof("auditing selections to %s (rotate at %d bytes)", *auditPath, *auditMax)
+	}
+
+	var middleware func(http.Handler) http.Handler
+	if *chaos != "" {
+		plan, err := fault.ParseChaos(*chaos, *chaosSeed)
+		fail(err)
+		middleware = plan.Middleware
+		log.Infof("chaos injection armed (seed %d): %s", *chaosSeed, *chaos)
 	}
 
 	srv, err := serve.New(serve.Options{
@@ -96,6 +141,7 @@ func main() {
 		Audit:         auditLog,
 		TraceRing:     *traceRing,
 		LatencySLO:    *sloLat,
+		Middleware:    middleware,
 	})
 	fail(err)
 	log.Infof("serving models %v (generation %d)", srv.Registry().Names(), srv.Registry().Gen())
@@ -104,7 +150,9 @@ func main() {
 	fail(err)
 	log.Infof("listening on http://%s", l.Addr())
 
-	// SIGHUP hot-reloads the snapshots; SIGINT/SIGTERM drain and exit.
+	// SIGHUP hot-reloads the snapshots; SIGINT/SIGTERM drain and exit:
+	// readiness flips first so routers stop sending traffic, then (after the
+	// optional grace) the listener closes and in-flight requests finish.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
@@ -117,7 +165,11 @@ func main() {
 				}
 				continue
 			}
-			log.Infof("%s: draining and shutting down", sig)
+			log.Infof("%s: draining (readyz -> 503) and shutting down", sig)
+			srv.BeginDrain()
+			if *drainGrace > 0 {
+				time.Sleep(*drainGrace)
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			if err := srv.Shutdown(ctx); err != nil {
 				log.Errorf("shutdown: %v", err)
@@ -134,6 +186,42 @@ func main() {
 		}
 	}
 	log.Infof("bye")
+}
+
+// runRouter fronts the replica fleet until SIGINT/SIGTERM.
+func runRouter(log *obs.Logger, opts fleet.Options, addr string) {
+	rt, err := fleet.New(opts)
+	fail(err)
+	rt.Start()
+	l, err := net.Listen("tcp", addr)
+	fail(err)
+	log.Infof("fleet router on http://%s over %d replicas %v", l.Addr(), len(opts.Replicas), opts.Replicas)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Infof("%s: draining router and shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := rt.Shutdown(ctx); err != nil {
+			log.Errorf("shutdown: %v", err)
+		}
+		cancel()
+	}()
+
+	fail(rt.Serve(l))
+	log.Infof("bye")
+}
+
+// splitList parses a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseInt64Pool parses a comma-separated loadgen pool override ("" keeps
@@ -163,11 +251,15 @@ func parseIntPool(s, flagName string) []int {
 }
 
 func runLoadgen(log *obs.Logger, opts serve.LoadgenOptions, out string) {
-	log.Infof("loadgen: %d workers against %s for %s", opts.Workers, opts.URL, opts.Duration)
+	target := opts.URL
+	if len(opts.URLs) > 0 {
+		target = strings.Join(opts.URLs, ", ")
+	}
+	log.Infof("loadgen: %d workers against %s for %s", opts.Workers, target, opts.Duration)
 	rep, err := serve.Loadgen(opts)
 	if rep.Requests > 0 {
-		log.Infof("loadgen: %d requests (%.1f%% cached, %d fallbacks, %d errors), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
-			rep.Requests, 100*rep.CacheHitRatio, rep.Fallbacks, rep.Errors, rep.QPS,
+		log.Infof("loadgen: %d requests (%.1f%% cached, %d fallbacks, %d errors, %d retries), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
+			rep.Requests, 100*rep.CacheHitRatio, rep.Fallbacks, rep.Errors, rep.Retries, rep.QPS,
 			rep.LatencyP50Us, rep.LatencyP90Us, rep.LatencyP99Us)
 		if rep.BatchSize > 0 {
 			log.Infof("loadgen: batches of %d -> %d instances, %.0f instances/s",

@@ -1,0 +1,257 @@
+// HTTP chaos: the serving-tier counterpart of the simulator fault plans.
+// A ChaosPlan wraps an http.Handler with deterministic, seeded request
+// perturbations — injected delays, 5xx bursts, and dropped connections —
+// so fleet resilience (retries, hedging, circuit breakers) is tested the
+// same reproducible way the simulator is. Every stochastic decision is
+// drawn from an RNG keyed by (plan seed, request sequence number), so a
+// plan replays the identical fault schedule run after run regardless of
+// request timing or concurrency.
+
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpicollpred/internal/sim"
+)
+
+// HTTPKind enumerates the chaos fault types.
+type HTTPKind string
+
+const (
+	// ChaosDelay holds a request for Delay before handling it, modelling a
+	// straggling replica (the hedging target).
+	ChaosDelay HTTPKind = "delay"
+	// ChaosErr answers with an error status instead of handling the
+	// request; Burst > 1 makes each trigger fail the next Burst requests
+	// too, modelling a replica briefly serving 5xx (the retry target).
+	ChaosErr HTTPKind = "err"
+	// ChaosDrop severs the client connection without writing a response,
+	// modelling a crashed or partitioned replica mid-request.
+	ChaosDrop HTTPKind = "drop"
+)
+
+// HTTPFault is one perturbation of a ChaosPlan.
+type HTTPFault struct {
+	Kind HTTPKind
+	// Prob is the per-request trigger probability in [0, 1].
+	Prob float64
+	// Delay is the injected hold (ChaosDelay).
+	Delay time.Duration
+	// Code is the injected status (ChaosErr, default 503).
+	Code int
+	// Burst extends a triggered ChaosErr over this many consecutive
+	// requests (default 1).
+	Burst int
+}
+
+// ChaosPlan is a reproducible set of HTTP faults. The zero Seed is valid;
+// sim.Seed mixes it with each request's sequence number.
+type ChaosPlan struct {
+	Seed   uint64
+	Faults []HTTPFault
+}
+
+// ParseChaos builds a ChaosPlan from a spec string: semicolon-separated
+// clauses of the form kind:key=value,key=value. An empty spec yields a nil
+// plan (no chaos).
+//
+//	delay:prob=0.2,ms=40
+//	err:prob=0.1,code=503,burst=3
+//	drop:prob=0.05
+func ParseChaos(spec string, seed uint64) (*ChaosPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &ChaosPlan{Seed: seed}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, argstr, _ := strings.Cut(clause, ":")
+		args, err := parseArgs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("fault: chaos clause %q: %w", clause, err)
+		}
+		f, err := buildHTTPFault(HTTPKind(strings.TrimSpace(kind)), args)
+		if err != nil {
+			return nil, fmt.Errorf("fault: chaos clause %q: %w", clause, err)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if len(p.Faults) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func buildHTTPFault(kind HTTPKind, args map[string]float64) (HTTPFault, error) {
+	get := func(key string, def float64) float64 {
+		if v, ok := args[key]; ok {
+			delete(args, key)
+			return v
+		}
+		return def
+	}
+	f := HTTPFault{Kind: kind, Prob: get("prob", 1)}
+	switch kind {
+	case ChaosDelay:
+		f.Delay = time.Duration(get("ms", 10) * float64(time.Millisecond))
+		if f.Delay <= 0 {
+			return f, fmt.Errorf("delay ms must be > 0")
+		}
+	case ChaosErr:
+		f.Code = int(get("code", float64(http.StatusServiceUnavailable)))
+		f.Burst = int(get("burst", 1))
+		if f.Code < 400 || f.Code > 599 {
+			return f, fmt.Errorf("err code %d is not a 4xx/5xx status", f.Code)
+		}
+		if f.Burst < 1 {
+			return f, fmt.Errorf("err burst %d < 1", f.Burst)
+		}
+	case ChaosDrop:
+	default:
+		return f, fmt.Errorf("unknown chaos kind %q (want delay, err, drop)", kind)
+	}
+	if f.Prob < 0 || f.Prob > 1 {
+		return f, fmt.Errorf("prob %g outside [0,1]", f.Prob)
+	}
+	if len(args) > 0 {
+		keys := make([]string, 0, len(args))
+		for k := range args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return f, fmt.Errorf("unknown arguments %v for kind %q", keys, kind)
+	}
+	return f, nil
+}
+
+// ChaosStats counts what a middleware instance has injected.
+type ChaosStats struct {
+	Requests int64 `json:"requests"`
+	Delays   int64 `json:"delays"`
+	Errors   int64 `json:"errors"`
+	Drops    int64 `json:"drops"`
+}
+
+// Chaos is a running middleware instance: the plan plus its burst state and
+// injection counters.
+type Chaos struct {
+	plan *ChaosPlan
+	next http.Handler
+	seq  atomic.Uint64
+
+	mu        sync.Mutex
+	burstLeft int // remaining requests of an open ChaosErr burst
+	burstCode int
+
+	requests atomic.Int64
+	delays   atomic.Int64
+	errors   atomic.Int64
+	drops    atomic.Int64
+}
+
+// chaosSleep is the middleware's one real-time seam: injected delays hold a
+// live HTTP request, which is wall time by definition. Decisions about who
+// gets delayed stay fully seeded and deterministic; tests stub this out.
+var chaosSleep = time.Sleep //mpicollvet:ignore wallclock injected HTTP delays hold real requests by design; all fault decisions are seeded, and tests stub the sleep
+
+// Middleware wraps next with the plan's fault schedule. A nil plan returns
+// next unchanged, so the no-chaos path costs nothing.
+func (p *ChaosPlan) Middleware(next http.Handler) http.Handler {
+	c := p.Wrap(next)
+	if c == nil {
+		return next
+	}
+	return c
+}
+
+// Wrap is Middleware with access to the injection counters (nil when the
+// plan is nil or empty).
+func (p *ChaosPlan) Wrap(next http.Handler) *Chaos {
+	if p == nil || len(p.Faults) == 0 {
+		return nil
+	}
+	return &Chaos{plan: p, next: next}
+}
+
+// Stats snapshots the injection counters.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		Requests: c.requests.Load(),
+		Delays:   c.delays.Load(),
+		Errors:   c.errors.Load(),
+		Drops:    c.drops.Load(),
+	}
+}
+
+// ServeHTTP draws this request's fate. Fault clauses are consulted in plan
+// order with one RNG draw each, so the schedule depends only on (seed, seq),
+// never on timing: request k of a run always meets the same faults.
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	seq := c.seq.Add(1)
+	c.requests.Add(1)
+	rng := sim.NewRNG(sim.Seed(c.plan.Seed, seq))
+
+	// An open 5xx burst swallows the request before any new draws.
+	c.mu.Lock()
+	if c.burstLeft > 0 {
+		c.burstLeft--
+		code := c.burstCode
+		c.mu.Unlock()
+		c.errors.Add(1)
+		http.Error(w, "chaos: injected burst error", code)
+		return
+	}
+	c.mu.Unlock()
+
+	var delay time.Duration
+	for _, f := range c.plan.Faults {
+		hit := rng.Float64() < f.Prob
+		if !hit {
+			continue
+		}
+		switch f.Kind {
+		case ChaosDelay:
+			if f.Delay > delay {
+				delay = f.Delay
+			}
+		case ChaosErr:
+			if f.Burst > 1 {
+				c.mu.Lock()
+				c.burstLeft = f.Burst - 1
+				c.burstCode = f.Code
+				c.mu.Unlock()
+			}
+			c.errors.Add(1)
+			http.Error(w, "chaos: injected error", f.Code)
+			return
+		case ChaosDrop:
+			c.drops.Add(1)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					_ = conn.Close()
+					return
+				}
+			}
+			// No hijack support (e.g. httptest.ResponseRecorder): the
+			// closest observable effect is an empty 502.
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+	}
+	if delay > 0 {
+		c.delays.Add(1)
+		chaosSleep(delay)
+	}
+	c.next.ServeHTTP(w, r)
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+}
+
+func TestParseChaos(t *testing.T) {
+	p, err := ParseChaos("delay:prob=0.5,ms=40; err:prob=0.2,code=502,burst=3; drop:prob=0.05", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Faults) != 3 {
+		t.Fatalf("plan %+v", p)
+	}
+	if p.Faults[0].Kind != ChaosDelay || p.Faults[0].Delay != 40*time.Millisecond {
+		t.Errorf("delay fault %+v", p.Faults[0])
+	}
+	if p.Faults[1].Code != 502 || p.Faults[1].Burst != 3 {
+		t.Errorf("err fault %+v", p.Faults[1])
+	}
+	if p.Faults[2].Prob != 0.05 {
+		t.Errorf("drop fault %+v", p.Faults[2])
+	}
+	if p, err := ParseChaos("", 1); p != nil || err != nil {
+		t.Errorf("empty spec: %v, %v", p, err)
+	}
+	for _, bad := range []string{
+		"warp:prob=1", "delay:ms=0", "err:code=200", "err:burst=0",
+		"drop:prob=2", "delay:ms=10,bogus=1",
+	} {
+		if _, err := ParseChaos(bad, 1); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestChaosDeterministic proves the fault schedule depends only on
+// (seed, request sequence): two runs over the same request count inject the
+// identical per-request outcomes.
+func TestChaosDeterministic(t *testing.T) {
+	restore := chaosSleep
+	chaosSleep = func(time.Duration) {}
+	defer func() { chaosSleep = restore }()
+
+	run := func() []int {
+		plan, err := ParseChaos("err:prob=0.3,code=503;delay:prob=0.4,ms=5", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := plan.Wrap(okHandler())
+		codes := make([]int, 200)
+		for i := range codes {
+			rec := httptest.NewRecorder()
+			c.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/select", nil))
+			codes[i] = rec.Code
+		}
+		st := c.Stats()
+		if st.Errors == 0 || st.Delays == 0 {
+			t.Fatalf("chaos never fired: %+v", st)
+		}
+		if st.Errors+st.Requests == 0 {
+			t.Fatalf("stats %+v", st)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: run A code %d, run B code %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosErrBurst(t *testing.T) {
+	// prob=1 with burst=3: every window of 3 requests fails with 503.
+	plan, err := ParseChaos("err:prob=1,burst=3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := plan.Wrap(okHandler())
+	for i := 0; i < 9; i++ {
+		rec := httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: code %d", i, rec.Code)
+		}
+	}
+	if st := c.Stats(); st.Errors != 9 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChaosNilPlanPassesThrough(t *testing.T) {
+	var p *ChaosPlan
+	h := p.Middleware(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("nil plan perturbed the request: %d %q", rec.Code, rec.Body)
+	}
+}
+
+// TestChaosDropSeversConnection runs against a real server so the hijack
+// path is exercised: the client must see a transport error, not a response.
+func TestChaosDropSeversConnection(t *testing.T) {
+	plan, err := ParseChaos("drop:prob=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(plan.Middleware(okHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("dropped request answered with status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,332 @@
+// Canary rollout: coordinated snapshot distribution with staged promotion.
+// A rollout pushes a new snapshot set to ONE replica (the canary), replays
+// a seeded probe workload against both the canary and a baseline replica,
+// and compares their selection distributions plus the canary's own drift
+// and SLO monitors. Only if the canary agrees closely enough and no monitor
+// breaches does the new set promote fleet-wide; otherwise the canary is
+// rolled back to its previous snapshots automatically. The replica-side
+// seam is /v1/reload with a {"paths": [...]} body (serve.ReloadPaths),
+// which leaves the old generation serving on any load error — so no step
+// of the state machine can take a replica offline.
+
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mpicollpred/internal/sim"
+)
+
+// Rollout states.
+const (
+	RolloutIdle       = "idle"
+	RolloutPromoted   = "promoted"
+	RolloutRolledBack = "rolled_back"
+	RolloutFailed     = "failed"
+)
+
+// RolloutRequest is the POST /fleet/rollout body.
+type RolloutRequest struct {
+	// Paths are the candidate snapshot files, as seen by the replicas.
+	Paths []string `json:"paths"`
+	// Probes is how many instances the comparison replays (default 64).
+	Probes int `json:"probes,omitempty"`
+	// MaxDivergence is the tolerated fraction of probes on which the
+	// canary's selection differs from the baseline's (default 0.25).
+	MaxDivergence float64 `json:"max_divergence,omitempty"`
+	// Nodes/PPNs/Msizes override the probe instance pool; defaults match
+	// the loadgen pool. Probes must draw from the served models' training
+	// envelope or divergence measures guardrail noise, not model change.
+	Nodes  []int   `json:"nodes,omitempty"`
+	PPNs   []int   `json:"ppns,omitempty"`
+	Msizes []int64 `json:"msizes,omitempty"`
+}
+
+// RolloutStatus is the observable state of the rollout machine.
+type RolloutStatus struct {
+	State         string   `json:"state"`
+	Paths         []string `json:"paths,omitempty"`
+	PreviousPaths []string `json:"previous_paths,omitempty"`
+	Canary        string   `json:"canary,omitempty"`
+	Baseline      string   `json:"baseline,omitempty"`
+	Probes        int      `json:"probes,omitempty"`
+	Diverged      int      `json:"diverged,omitempty"`
+	Divergence    float64  `json:"divergence"`
+	MaxDivergence float64  `json:"max_divergence,omitempty"`
+	CanaryErrors  int      `json:"canary_errors,omitempty"`
+	Promoted      []string `json:"promoted,omitempty"`
+	Failed        []string `json:"failed_replicas,omitempty"`
+	Reason        string   `json:"reason,omitempty"`
+	Steps         []string `json:"steps,omitempty"`
+}
+
+// RolloutStatus returns the last (or in-progress) rollout state.
+func (rt *Router) RolloutStatus() RolloutStatus {
+	rt.rolloutMu.Lock()
+	defer rt.rolloutMu.Unlock()
+	return rt.rolloutStatus
+}
+
+func (rt *Router) setRollout(st RolloutStatus) {
+	rt.rolloutMu.Lock()
+	rt.rolloutStatus = st
+	rt.rolloutMu.Unlock()
+}
+
+// selectProbe is the slice of a /v1/select answer the comparison reads.
+type selectProbe struct {
+	ConfigID int    `json:"config_id"`
+	Label    string `json:"label"`
+	Fallback bool   `json:"fallback"`
+}
+
+// replicaHealth is the slice of a replica /healthz the rollout reads.
+type replicaHealth struct {
+	Generation    uint64   `json:"generation"`
+	SnapshotPaths []string `json:"snapshot_paths"`
+}
+
+// canaryTelemetry is the slice of /v1/telemetry the breach check reads.
+type canaryTelemetry struct {
+	Models []struct {
+		Model         string `json:"model"`
+		FallbackLevel string `json:"fallback_level"`
+	} `json:"models"`
+	Availability struct {
+		Level string `json:"level"`
+	} `json:"availability"`
+}
+
+// Rollout runs the canary state machine synchronously and returns its final
+// status. Only one rollout runs at a time; a concurrent call fails fast.
+func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
+	if !rt.rolloutRun.TryLock() {
+		return RolloutStatus{State: RolloutFailed, Reason: "a rollout is already in progress"}
+	}
+	defer rt.rolloutRun.Unlock()
+
+	if req.Probes <= 0 {
+		req.Probes = 64
+	}
+	if req.MaxDivergence <= 0 {
+		req.MaxDivergence = 0.25
+	}
+	if len(req.Nodes) == 0 {
+		req.Nodes = []int{2, 4, 8, 16}
+	}
+	if len(req.PPNs) == 0 {
+		req.PPNs = []int{4, 8}
+	}
+	if len(req.Msizes) == 0 {
+		req.Msizes = []int64{64, 1024, 16384, 262144}
+	}
+
+	st := RolloutStatus{State: RolloutIdle, Paths: req.Paths,
+		Probes: req.Probes, MaxDivergence: req.MaxDivergence}
+	step := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		st.Steps = append(st.Steps, msg)
+		if rt.log != nil {
+			rt.log.Infof("rollout: %s", msg)
+		}
+		rt.setRollout(st)
+	}
+	fail := func(format string, args ...any) RolloutStatus {
+		st.State = RolloutFailed
+		st.Reason = fmt.Sprintf(format, args...)
+		step("failed: %s", st.Reason)
+		return st
+	}
+
+	if len(req.Paths) == 0 {
+		return fail("no snapshot paths")
+	}
+
+	// Stage 0: pick canary and baseline from the ready replicas.
+	var ready []*Replica
+	for _, r := range rt.replicas {
+		if r.ready.Load() {
+			ready = append(ready, r)
+		}
+	}
+	if len(ready) < 2 {
+		return fail("need >= 2 ready replicas for a canary comparison, have %d", len(ready))
+	}
+	canary, baseline := ready[0], ready[1]
+	st.Canary, st.Baseline = canary.URL, baseline.URL
+
+	var hc replicaHealth
+	if err := rt.getJSON(canary.URL+"/healthz", &hc); err != nil {
+		return fail("canary healthz: %v", err)
+	}
+	if len(hc.SnapshotPaths) == 0 {
+		return fail("canary %s reports no snapshot paths; cannot roll back, refusing to roll out", canary.URL)
+	}
+	st.PreviousPaths = hc.SnapshotPaths
+	step("canary %s (baseline %s), previous snapshots %v", canary.URL, baseline.URL, hc.SnapshotPaths)
+
+	// Stage 1: push the candidate snapshots to the canary only.
+	if err := rt.postReload(canary.URL, req.Paths); err != nil {
+		// The replica keeps serving its previous generation on a failed
+		// load, so there is nothing to roll back — the rollout just dies.
+		return fail("canary reload: %v", err)
+	}
+	step("canary loaded %v", req.Paths)
+
+	rollback := func(reason string) RolloutStatus {
+		st.Reason = reason
+		if err := rt.postReload(canary.URL, st.PreviousPaths); err != nil {
+			return fail("%s; AND rollback reload failed: %v", reason, err)
+		}
+		st.State = RolloutRolledBack
+		step("rolled back canary to %v: %s", st.PreviousPaths, reason)
+		return st
+	}
+
+	// Stage 2: replay a seeded probe workload against canary and baseline
+	// and compare their selection distributions.
+	rng := sim.NewRNG(sim.Seed(rt.opts.Seed, 0x9011, rt.reqSeq.Add(1)))
+	for i := 0; i < req.Probes; i++ {
+		nodes := req.Nodes[rng.Intn(len(req.Nodes))]
+		ppn := req.PPNs[rng.Intn(len(req.PPNs))]
+		msize := req.Msizes[rng.Intn(len(req.Msizes))]
+		q := fmt.Sprintf("/v1/select?nodes=%d&ppn=%d&msize=%d", nodes, ppn, msize)
+		var cp, bp selectProbe
+		if err := rt.getJSON(canary.URL+q, &cp); err != nil {
+			st.CanaryErrors++
+			continue
+		}
+		if err := rt.getJSON(baseline.URL+q, &bp); err != nil {
+			continue // baseline trouble is not the canary's fault
+		}
+		if cp.ConfigID != bp.ConfigID {
+			st.Diverged++
+		}
+	}
+	st.Divergence = float64(st.Diverged) / float64(req.Probes)
+	step("probes: %d/%d diverged (%.1f%%), %d canary errors",
+		st.Diverged, req.Probes, 100*st.Divergence, st.CanaryErrors)
+
+	// Stage 3: gate on probe health, divergence, and the canary's own
+	// drift/SLO monitors.
+	if st.CanaryErrors*10 > req.Probes {
+		return rollback(fmt.Sprintf("canary failed %d/%d probes", st.CanaryErrors, req.Probes))
+	}
+	if st.Divergence > req.MaxDivergence {
+		return rollback(fmt.Sprintf("selection divergence %.1f%% exceeds %.1f%%",
+			100*st.Divergence, 100*req.MaxDivergence))
+	}
+	var tel canaryTelemetry
+	if err := rt.getJSON(canary.URL+"/v1/telemetry", &tel); err != nil {
+		return rollback(fmt.Sprintf("canary telemetry unreadable: %v", err))
+	}
+	if tel.Availability.Level == "breach" {
+		return rollback("canary availability monitor breached")
+	}
+	for _, m := range tel.Models {
+		if m.FallbackLevel == "breach" {
+			return rollback(fmt.Sprintf("canary fallback monitor breached for model %s", m.Model))
+		}
+	}
+	step("canary healthy: promoting fleet-wide")
+
+	// Stage 4: promote — push the candidate set to every other live
+	// replica. A replica that fails to load keeps its old snapshots (its
+	// reload is atomic), so a partial promotion degrades, never breaks.
+	st.Promoted = append(st.Promoted, canary.URL)
+	for _, r := range rt.replicas {
+		if r == canary || !r.alive.Load() {
+			continue
+		}
+		if err := rt.postReload(r.URL, req.Paths); err != nil {
+			st.Failed = append(st.Failed, r.URL)
+			step("promote %s failed (still on previous snapshots): %v", r.URL, err)
+			continue
+		}
+		st.Promoted = append(st.Promoted, r.URL)
+	}
+	st.State = RolloutPromoted
+	if len(st.Failed) > 0 {
+		st.Reason = fmt.Sprintf("%d replicas failed to load the new snapshots", len(st.Failed))
+	}
+	step("promoted %d/%d replicas", len(st.Promoted), len(rt.replicas))
+	return st
+}
+
+func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rt.writeJSON(w, http.StatusOK, rt.RolloutStatus())
+	case http.MethodPost:
+		var req RolloutRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			rt.writeError(w, http.StatusBadRequest, "bad rollout request: %v", err)
+			return
+		}
+		st := rt.Rollout(req)
+		rt.setRollout(st)
+		rt.writeJSON(w, http.StatusOK, st)
+	default:
+		rt.writeError(w, http.StatusMethodNotAllowed, "GET the status or POST a rollout")
+	}
+}
+
+// getJSON fetches url into out with the router's probe timeout.
+func (rt *Router) getJSON(url string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return rt.doJSON(req, out)
+}
+
+// postReload asks a replica to switch its snapshot set.
+func (rt *Router) postReload(base string, paths []string) error {
+	body, err := json.Marshal(map[string][]string{"paths": paths})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/reload", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.doJSON(req, nil)
+}
+
+func (rt *Router) doJSON(req *http.Request, out any) error {
+	client := &http.Client{Transport: rt.client.Transport, Timeout: rolloutTimeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 256))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// rolloutTimeout bounds one rollout HTTP call (snapshot loads included).
+const rolloutTimeout = 15 * time.Second
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

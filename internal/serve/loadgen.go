@@ -8,6 +8,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,6 +25,10 @@ import (
 type LoadgenOptions struct {
 	// URL is the server base URL (e.g. "http://127.0.0.1:8080").
 	URL string
+	// URLs is the multi-target mode: workers are spread round-robin over
+	// these base URLs, driving a whole fleet (replicas directly, or several
+	// routers). When set it overrides URL.
+	URLs []string
 	// Model names the model to query ("" works for single-model servers).
 	Model string
 	// Duration is how long to generate load (default 5s).
@@ -35,6 +40,14 @@ type LoadgenOptions struct {
 	// Batch switches the workers from /v1/select to /v1/batch, posting this
 	// many instances per request (0 keeps the single-select mode).
 	Batch int
+	// Retries is how many times a transient failure (dial error, connection
+	// reset, 5xx from a gateway) is retried with jittered exponential
+	// backoff before it counts as a hard error (default 3; negative
+	// disables retries).
+	Retries int
+	// RetryBase is the backoff unit: attempt k sleeps RetryBase<<k plus up
+	// to one RetryBase of jitter (default 5ms).
+	RetryBase time.Duration
 	// Nodes/PPNs/Msizes form the instance pool workers draw from. The pool
 	// is deliberately small: real tuning traffic repeats the same instances,
 	// which is what the selection cache exists for.
@@ -43,27 +56,42 @@ type LoadgenOptions struct {
 	Msizes []int64
 }
 
+// targets returns the base URLs the workers drive.
+func (o *LoadgenOptions) targets() []string {
+	if len(o.URLs) > 0 {
+		return o.URLs
+	}
+	return []string{o.URL}
+}
+
 // LoadgenReport summarizes a run; it is what BENCH_serve.json holds. In
 // batch mode (BatchSize > 0) Requests counts round trips, Instances counts
 // tuning decisions, and latencies are per round trip.
 type LoadgenReport struct {
-	URL             string  `json:"url"`
-	Model           string  `json:"model"`
-	Workers         int     `json:"workers"`
-	BatchSize       int     `json:"batch_size,omitempty"`
-	DurationSeconds float64 `json:"duration_seconds"`
-	Requests        int64   `json:"requests"`
-	Instances       int64   `json:"instances"`
-	Errors          int64   `json:"errors"`
-	CachedHits      int64   `json:"cached_hits"`
-	CacheHitRatio   float64 `json:"cache_hit_ratio"`
-	Fallbacks       int64   `json:"fallbacks"`
-	QPS             float64 `json:"qps"`
-	InstancesPerSec float64 `json:"instances_per_sec"`
-	LatencyP50Us    float64 `json:"latency_p50_us"`
-	LatencyP90Us    float64 `json:"latency_p90_us"`
-	LatencyP99Us    float64 `json:"latency_p99_us"`
-	LatencyMaxUs    float64 `json:"latency_max_us"`
+	URL             string   `json:"url"`
+	Targets         []string `json:"targets,omitempty"`
+	Model           string   `json:"model"`
+	Workers         int      `json:"workers"`
+	BatchSize       int      `json:"batch_size,omitempty"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Requests        int64    `json:"requests"`
+	Instances       int64    `json:"instances"`
+	Errors          int64    `json:"errors"`
+	Retries         int64    `json:"retries"`
+	CachedHits      int64    `json:"cached_hits"`
+	CacheHitRatio   float64  `json:"cache_hit_ratio"`
+	Fallbacks       int64    `json:"fallbacks"`
+	QPS             float64  `json:"qps"`
+	InstancesPerSec float64  `json:"instances_per_sec"`
+	LatencyP50Us    float64  `json:"latency_p50_us"`
+	LatencyP90Us    float64  `json:"latency_p90_us"`
+	LatencyP99Us    float64  `json:"latency_p99_us"`
+	LatencyMaxUs    float64  `json:"latency_max_us"`
+	// Fleet embeds the router's /fleet/status (retry/hedge/breaker counters
+	// and per-replica state) when the first target serves one — the
+	// aggregate BENCH_serve.json then carries the fleet's own accounting
+	// next to the client-side numbers.
+	Fleet json.RawMessage `json:"fleet,omitempty"`
 }
 
 func (o *LoadgenOptions) defaults() {
@@ -72,6 +100,15 @@ func (o *LoadgenOptions) defaults() {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 8
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
 	}
 	if len(o.Nodes) == 0 {
 		o.Nodes = []int{2, 4, 8, 16}
@@ -89,9 +126,30 @@ type loadgenWorker struct {
 	requests  int64
 	instances int64
 	errors    int64
+	retries   int64
 	cached    int64
 	fallbacks int64
 	latencies []float64 // seconds
+}
+
+// transientErr marks a failure worth retrying: the request may never have
+// reached a healthy replica (dial refused, connection reset mid-response,
+// or a gateway 5xx), so trying again is meaningful — unlike a 4xx, which
+// would fail identically every time.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string { return e.err.Error() }
+func (e transientErr) Unwrap() error { return e.err }
+
+// transientStatus reports whether an HTTP status signals a retryable
+// server/gateway condition rather than a caller mistake.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // Loadgen runs the load generator against a live server and returns the
@@ -110,6 +168,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	defer client.CloseIdleConnections()
 
 	deadline := time.Now().Add(opts.Duration)
+	targets := opts.targets()
 	workers := make([]loadgenWorker, opts.Workers)
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
@@ -118,6 +177,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 		go func(wi int) {
 			defer wg.Done()
 			w := &workers[wi]
+			base := targets[wi%len(targets)]
 			rng := sim.NewRNG(sim.Seed(opts.Seed, uint64(wi)))
 			draw := func() InstanceRequest {
 				return InstanceRequest{
@@ -131,24 +191,52 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 				// and trace of this run points back at its generator.
 				reqID := fmt.Sprintf("lg%d-w%d-%d", opts.Seed, wi, seq)
 				var cached, fallbacks, instances int64
-				var err error
-				t0 := time.Now()
+				var op func() error
 				if opts.Batch > 0 {
+					// One batch draws its instances once; retries repost the
+					// identical batch, keeping the replayed traffic stable.
 					instances = int64(opts.Batch)
-					cached, fallbacks, err = doBatch(client, opts.URL, opts.Model, reqID, draw, opts.Batch)
+					breq := BatchRequest{Model: opts.Model, Instances: make([]InstanceRequest, opts.Batch)}
+					for i := range breq.Instances {
+						breq.Instances[i] = draw()
+					}
+					op = func() error {
+						var err error
+						cached, fallbacks, err = doBatch(client, base, reqID, breq)
+						return err
+					}
 				} else {
 					instances = 1
 					in := draw()
 					url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
-						opts.URL, opts.Model, in.Nodes, in.PPN, in.Msize)
-					var hit, fb bool
-					hit, fb, err = doSelect(client, url, reqID)
-					if hit {
-						cached = 1
+						base, opts.Model, in.Nodes, in.PPN, in.Msize)
+					op = func() error {
+						hit, fb, err := doSelect(client, url, reqID)
+						cached, fallbacks = 0, 0
+						if hit {
+							cached = 1
+						}
+						if fb {
+							fallbacks = 1
+						}
+						return err
 					}
-					if fb {
-						fallbacks = 1
+				}
+				t0 := time.Now()
+				err := op()
+				// Transient failures (dial refused, reset, gateway 5xx) are
+				// retried with jittered exponential backoff: under a fleet,
+				// a replica dying mid-run must not surface to the client.
+				for attempt := 0; err != nil && attempt < opts.Retries; attempt++ {
+					var te transientErr
+					if !errors.As(err, &te) {
+						break
 					}
+					w.retries++
+					backoff := opts.RetryBase << attempt
+					backoff += time.Duration(rng.Float64() * float64(opts.RetryBase))
+					time.Sleep(backoff)
+					err = op()
 				}
 				w.latencies = append(w.latencies, time.Since(t0).Seconds())
 				w.requests++
@@ -166,13 +254,17 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	}
 	wg.Wait()
 
-	rep := LoadgenReport{URL: opts.URL, Model: opts.Model, Workers: opts.Workers,
+	rep := LoadgenReport{URL: targets[0], Model: opts.Model, Workers: opts.Workers,
 		BatchSize: opts.Batch, DurationSeconds: opts.Duration.Seconds()}
+	if len(targets) > 1 {
+		rep.Targets = targets
+	}
 	var all []float64
 	for i := range workers {
 		rep.Requests += workers[i].requests
 		rep.Instances += workers[i].instances
 		rep.Errors += workers[i].errors
+		rep.Retries += workers[i].retries
 		rep.CachedHits += workers[i].cached
 		rep.Fallbacks += workers[i].fallbacks
 		all = append(all, workers[i].latencies...)
@@ -191,14 +283,34 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	if len(all) > 0 {
 		rep.LatencyMaxUs = all[len(all)-1] * 1e6
 	}
+	rep.Fleet = fetchFleetStatus(client, targets[0])
 	if p := firstErr.Load(); p != nil {
 		return rep, fmt.Errorf("serve: loadgen saw %d errors, first: %w", rep.Errors, *p)
 	}
 	return rep, nil
 }
 
+// fetchFleetStatus embeds the router's own accounting into the report when
+// the first target is a fleet router; replicas (404 here) stay unadorned.
+func fetchFleetStatus(client *http.Client, base string) json.RawMessage {
+	resp, err := client.Get(base + "/fleet/status")
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || !json.Valid(data) {
+		return nil
+	}
+	return json.RawMessage(data)
+}
+
 // doSelect issues one /v1/select and reports whether the answer was cached
-// and whether it was a fallback.
+// and whether it was a fallback. Transport failures and retryable statuses
+// come back wrapped as transientErr.
 func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, err error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
@@ -207,12 +319,16 @@ func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, er
 	req.Header.Set("X-Request-Id", reqID)
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, false, err
+		return false, false, transientErr{err}
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, false, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		err := fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		if transientStatus(resp.StatusCode) {
+			return false, false, transientErr{err}
+		}
+		return false, false, err
 	}
 	if echo := resp.Header.Get("X-Request-Id"); echo != reqID {
 		return false, false, fmt.Errorf("request id not propagated: sent %q, got %q", reqID, echo)
@@ -224,15 +340,12 @@ func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, er
 	return sr.Cached, sr.Fallback, nil
 }
 
-// doBatch posts one /v1/batch of n drawn instances and returns how many of
-// its entries were answered from the cache and how many fell back. Any
-// per-entry error counts as a request error: the pool only draws valid
-// instances, so an entry-level failure means the server mishandled the batch.
-func doBatch(client *http.Client, baseURL, model, reqID string, draw func() InstanceRequest, n int) (cached, fallbacks int64, err error) {
-	req := BatchRequest{Model: model, Instances: make([]InstanceRequest, n)}
-	for i := range req.Instances {
-		req.Instances[i] = draw()
-	}
+// doBatch posts one /v1/batch and returns how many of its entries were
+// answered from the cache and how many fell back. Any per-entry error
+// counts as a request error: the pool only draws valid instances, so an
+// entry-level failure means the server mishandled the batch. Transport
+// failures and retryable statuses come back wrapped as transientErr.
+func doBatch(client *http.Client, baseURL, reqID string, req BatchRequest) (cached, fallbacks int64, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, 0, err
@@ -245,17 +358,22 @@ func doBatch(client *http.Client, baseURL, model, reqID string, draw func() Inst
 	hreq.Header.Set("X-Request-Id", reqID)
 	resp, err := client.Do(hreq)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, transientErr{err}
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		err := fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		if transientStatus(resp.StatusCode) {
+			return 0, 0, transientErr{err}
+		}
+		return 0, 0, err
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return 0, 0, err
+		return 0, 0, transientErr{err}
 	}
+	n := len(req.Instances)
 	if len(br.Results) != n {
 		return 0, 0, fmt.Errorf("batch of %d answered with %d results", n, len(br.Results))
 	}

@@ -10,9 +10,13 @@
 //	GET/POST /v1/select    one tuning decision for an instance
 //	GET/POST /v1/predict   every configuration's predicted time, ranked
 //	POST     /v1/batch     many decisions in one round trip
-//	POST     /v1/reload    reload snapshots from disk (also SIGHUP)
+//	POST     /v1/reload    reload snapshots from disk (also SIGHUP); an
+//	                       optional {"paths": [...]} body switches the
+//	                       snapshot set (the fleet canary-rollout seam)
 //	GET      /v1/telemetry drift + SLO monitor states
 //	GET      /healthz      liveness + loaded-model inventory
+//	GET      /readyz       readiness: 503 until the first snapshot
+//	                       generation loads and during shutdown drain
 //	GET      /metrics      obs registry snapshot (text, ?format=json)
 //	GET      /debug/traces recent request traces (JSON, ?format=chrome)
 //
@@ -68,12 +72,16 @@ type Options struct {
 	// LatencySLO is the per-request latency objective of the latency burn
 	// monitor (default DefaultLatencySLO).
 	LatencySLO time.Duration
+	// Middleware, when set, wraps the whole handler chain in Serve —
+	// the seam the chaos injector (fault.ChaosPlan) plugs into.
+	Middleware func(http.Handler) http.Handler
 }
 
 // Server answers tuning queries from a registry of loaded models.
 type Server struct {
 	reg          *Registry
 	cache        *SelectionCache
+	pathsMu      sync.Mutex
 	paths        []string
 	log          *obs.Logger
 	metrics      *obs.Registry
@@ -83,7 +91,9 @@ type Server struct {
 	reqSeq       atomic.Uint64
 	mux          *http.ServeMux
 	httpSrv      *http.Server
+	middleware   func(http.Handler) http.Handler
 	batchWorkers int
+	draining     atomic.Bool
 }
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -117,6 +127,7 @@ func New(opts Options) (*Server, error) {
 		auditLog:     opts.Audit,
 		ring:         obs.NewSpanRing(opts.TraceRing),
 		tel:          newTelemetry(opts.LatencySLO),
+		middleware:   opts.Middleware,
 		batchWorkers: opts.BatchWorkers,
 	}
 	if len(s.paths) > 0 {
@@ -131,6 +142,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("/v1/reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("/v1/telemetry", s.instrument("telemetry", s.handleTelemetry))
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("/debug/traces", s.instrument("traces", s.handleTraces))
 	return s, nil
@@ -151,9 +163,21 @@ func (s *Server) TraceRing() *obs.SpanRing { return s.ring }
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Serve answers requests on l until Shutdown.
+// Serve answers requests on l until Shutdown. The full timeout set guards
+// the fleet's replicas against slow-loris clients and wedged writes: a
+// stuck peer times out instead of pinning a connection forever.
 func (s *Server) Serve(l net.Listener) error {
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	h := http.Handler(s.mux)
+	if s.middleware != nil {
+		h = s.middleware(h)
+	}
+	s.httpSrv = &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	err := s.httpSrv.Serve(l)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
@@ -161,8 +185,30 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
+// BeginDrain flips /readyz to not-ready so the fleet router stops routing
+// here, without refusing the requests already in flight. Call it on SIGTERM
+// before Shutdown; the gap between the two is the router's chance to notice.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready reports whether the server should receive routed traffic, and if
+// not, why: a server is ready once the first snapshot generation is loaded
+// and until it starts draining.
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.reg.Gen() == 0 {
+		return false, "no models loaded"
+	}
+	return true, ""
+}
+
 // Shutdown drains in-flight requests and stops the listener.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -172,10 +218,37 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Reload re-reads the configured snapshot paths and atomically swaps the
 // model set; on error the previous generation keeps serving.
 func (s *Server) Reload() error {
-	if len(s.paths) == 0 {
+	s.pathsMu.Lock()
+	paths := append([]string(nil), s.paths...)
+	s.pathsMu.Unlock()
+	if len(paths) == 0 {
 		return fmt.Errorf("serve: no snapshot paths configured to reload")
 	}
-	return s.reg.Load(s.paths)
+	return s.reg.Load(paths)
+}
+
+// ReloadPaths swaps the served snapshot set to the given paths — the canary
+// seam: a rollout points one replica at candidate snapshots, and rollback
+// points it at the previous ones. On load error the configured paths and
+// the serving generation are both left untouched.
+func (s *Server) ReloadPaths(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("serve: reload with no snapshot paths")
+	}
+	if err := s.reg.Load(paths); err != nil {
+		return err
+	}
+	s.pathsMu.Lock()
+	s.paths = append([]string(nil), paths...)
+	s.pathsMu.Unlock()
+	return nil
+}
+
+// SnapshotPaths returns the currently configured snapshot paths.
+func (s *Server) SnapshotPaths() []string {
+	s.pathsMu.Lock()
+	defer s.pathsMu.Unlock()
+	return append([]string(nil), s.paths...)
 }
 
 // ctxKey keys the per-request info in the request context.
@@ -287,9 +360,40 @@ type SelectResponse struct {
 	Decision
 }
 
+// decodeJSON decodes a body-capped POST payload. Overflowing maxBodyBytes
+// is a client fault with its own status and counter: the 413 tells the
+// caller to split the batch, and the counter makes an abusive client
+// visible in one /metrics scrape.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.Counter("serve_body_overflow_total", nil).Inc()
+			return errBodyTooLarge
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// writeRequestError maps a parse/decode failure to its status code.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, errMethod):
+		return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
+	case errors.Is(err, errBodyTooLarge):
+		return s.writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", maxBodyBytes)
+	default:
+		return s.writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 // parseSelectRequest accepts both GET query parameters (curl-friendly) and
 // a POST JSON body.
-func parseSelectRequest(r *http.Request) (SelectRequest, error) {
+func (s *Server) parseSelectRequest(w http.ResponseWriter, r *http.Request) (SelectRequest, error) {
 	var req SelectRequest
 	switch r.Method {
 	case http.MethodGet:
@@ -306,10 +410,8 @@ func parseSelectRequest(r *http.Request) (SelectRequest, error) {
 			return req, fmt.Errorf("bad msize %q", q.Get("msize"))
 		}
 	case http.MethodPost:
-		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return req, fmt.Errorf("bad request body: %v", err)
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			return req, err
 		}
 	default:
 		return req, errMethod
@@ -317,7 +419,10 @@ func parseSelectRequest(r *http.Request) (SelectRequest, error) {
 	return req, nil
 }
 
-var errMethod = errors.New("method not allowed; use GET or POST")
+var (
+	errMethod       = errors.New("method not allowed; use GET or POST")
+	errBodyTooLarge = errors.New("request body too large")
+)
 
 // resolve validates the instance and resolves the model against one
 // captured registry generation.
@@ -336,13 +441,10 @@ func (s *Server) resolve(w http.ResponseWriter, req SelectRequest) (*modelSet, *
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) int {
 	ri := reqFrom(r)
 	endParse := ri.span.StartSpan("parse")
-	req, err := parseSelectRequest(r)
+	req, err := s.parseSelectRequest(w, r)
 	endParse()
 	if err != nil {
-		if errors.Is(err, errMethod) {
-			return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
-		}
-		return s.writeError(w, http.StatusBadRequest, "%v", err)
+		return s.writeRequestError(w, err)
 	}
 	endResolve := ri.span.StartSpan("resolve")
 	set, m, code := s.resolve(w, req)
@@ -416,12 +518,9 @@ type PredictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
-	req, err := parseSelectRequest(r)
+	req, err := s.parseSelectRequest(w, r)
 	if err != nil {
-		if errors.Is(err, errMethod) {
-			return s.writeError(w, http.StatusMethodNotAllowed, "%v", err)
-		}
-		return s.writeError(w, http.StatusBadRequest, "%v", err)
+		return s.writeRequestError(w, err)
 	}
 	_, m, code := s.resolve(w, req)
 	if m == nil {
@@ -464,10 +563,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, http.StatusMethodNotAllowed, "POST a BatchRequest")
 	}
 	var req BatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return s.writeRequestError(w, err)
 	}
 	if len(req.Instances) == 0 {
 		return s.writeError(w, http.StatusBadRequest, "empty batch")
@@ -535,16 +632,57 @@ func (s *Server) batchOne(ri reqInfo, set *modelSet, m *Model, in InstanceReques
 	s.observeDecision(ri, "batch", set, m, in, out.Decision, time.Since(t0))
 }
 
+// ReloadRequest is the optional /v1/reload body: naming Paths switches the
+// served snapshot set (rollout/rollback); an empty body re-reads the
+// current one.
+type ReloadRequest struct {
+	Paths []string `json:"paths"`
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		return s.writeError(w, http.StatusMethodNotAllowed, "POST to reload")
 	}
-	if err := s.Reload(); err != nil {
+	var req ReloadRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			return s.writeRequestError(w, err)
+		}
+	}
+	var err error
+	if len(req.Paths) > 0 {
+		err = s.ReloadPaths(req.Paths)
+	} else {
+		err = s.Reload()
+	}
+	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, "reload failed (previous models still serving): %v", err)
 	}
 	return s.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "reloaded", "generation": s.reg.Gen(), "models": s.reg.Names(),
+		"paths": s.SnapshotPaths(),
 	})
+}
+
+// ReadyResponse is the /readyz payload.
+type ReadyResponse struct {
+	Status     string `json:"status"`
+	Reason     string `json:"reason,omitempty"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleReadyz is the router's probe target: liveness (/healthz) says the
+// process is up, readiness says it should receive routed traffic — which
+// is false before the first snapshot generation and during drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
+	ready, reason := s.Ready()
+	resp := ReadyResponse{Status: "ready", Generation: s.reg.Gen()}
+	if !ready {
+		resp.Status = "not_ready"
+		resp.Reason = reason
+		return s.writeJSON(w, http.StatusServiceUnavailable, resp)
+	}
+	return s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ModelInfo describes one loaded model in /healthz.
@@ -564,18 +702,22 @@ type ModelInfo struct {
 
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
-	Status     string      `json:"status"`
-	Generation uint64      `json:"generation"`
-	Models     []ModelInfo `json:"models"`
-	CacheSize  int         `json:"cache_size"`
-	CacheHits  int64       `json:"cache_hits"`
-	CacheMiss  int64       `json:"cache_misses"`
-	CacheEvict int64       `json:"cache_evictions"`
+	Status        string      `json:"status"`
+	Ready         bool        `json:"ready"`
+	Generation    uint64      `json:"generation"`
+	SnapshotPaths []string    `json:"snapshot_paths,omitempty"`
+	Models        []ModelInfo `json:"models"`
+	CacheSize     int         `json:"cache_size"`
+	CacheHits     int64       `json:"cache_hits"`
+	CacheMiss     int64       `json:"cache_misses"`
+	CacheEvict    int64       `json:"cache_evictions"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	set := s.reg.view()
-	resp := HealthResponse{Status: "ok", Generation: set.gen}
+	ready, _ := s.Ready()
+	resp := HealthResponse{Status: "ok", Ready: ready, Generation: set.gen,
+		SnapshotPaths: s.SnapshotPaths()}
 	for _, name := range set.names { // sorted at install time
 		m := set.byName[name]
 		resp.Models = append(resp.Models, ModelInfo{
