@@ -94,6 +94,20 @@ func (b *Breaker) Allow(now time.Time) bool {
 	}
 }
 
+// AbortProbe releases the half-open probe slot without deciding an
+// outcome. Called when a probe attempt was cancelled (hedge lost the race,
+// client disconnect): the cancelled attempt says nothing about the
+// replica's health, but silently dropping the report would leave probing
+// set and wedge the breaker in half-open — rejecting everything — until
+// process restart.
+func (b *Breaker) AbortProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // Report folds one request outcome into the breaker.
 func (b *Breaker) Report(ok bool, now time.Time) {
 	b.mu.Lock()

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,7 @@ import (
 	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/fault"
+	"mpicollpred/internal/obs"
 	"mpicollpred/internal/serve"
 )
 
@@ -165,6 +167,111 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerAbortProbe is the regression test for the half-open wedge: a
+// cancelled probe attempt (hedge lost the race, client disconnect) must
+// release the probe slot instead of leaving the breaker rejecting every
+// request until process restart.
+func TestBreakerAbortProbe(t *testing.T) {
+	b := NewBreaker(1, time.Second)
+	now := time.Unix(0, 0)
+	b.Report(false, now) // open
+	probeTime := now.Add(1100 * time.Millisecond)
+	if !b.Allow(probeTime) {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.Allow(probeTime) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// The probe was cancelled: releasing its slot must let a new probe in.
+	b.AbortProbe()
+	if !b.Allow(probeTime) {
+		t.Fatal("breaker stayed wedged after the cancelled probe was aborted")
+	}
+	b.Report(true, probeTime)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful re-probe, want closed", b.State())
+	}
+	// On a closed breaker AbortProbe is a no-op.
+	b.AbortProbe()
+	if b.State() != BreakerClosed || !b.Allow(probeTime) {
+		t.Fatal("AbortProbe disturbed a closed breaker")
+	}
+}
+
+// TestPickHedgeSkipsHalfOpen: a hedge attempt is cancelled whenever the
+// primary wins the race, so hedge picks must never consume a half-open
+// probe slot — only non-cancellable primaries carry probes.
+func TestPickHedgeSkipsHalfOpen(t *testing.T) {
+	rt, err := New(Options{Replicas: []string{"http://127.0.0.1:1", "http://127.0.0.1:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rt.replicas {
+		r.ready.Store(true)
+	}
+	now := time.Unix(0, 0)
+	target := rt.replicas[1]
+	for i := 0; i < 5; i++ {
+		target.breaker.Report(false, now)
+	}
+	after := now.Add(3 * time.Second) // past cooldown: probe-eligible
+	excl := map[int]bool{0: true}     // the open-breaker replica is the only candidate
+	if got := rt.pick(0, excl, after, true); got != nil {
+		t.Fatalf("hedge pick returned %s whose breaker is not closed", got.URL)
+	}
+	if target.breaker.State() != BreakerOpen {
+		t.Fatalf("hedge pick disturbed the breaker: state %v, want open", target.breaker.State())
+	}
+	// The same replica still takes the probe as a primary.
+	if got := rt.pick(0, excl, after, false); got != target {
+		t.Fatal("primary pick refused the half-open probe")
+	}
+}
+
+// TestForwardOversizedResponse: a backend response over the proxy cap must
+// fail the attempt rather than be truncated and forwarded under a 200.
+func TestForwardOversizedResponse(t *testing.T) {
+	big := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		buf := make([]byte, 1<<20)
+		for written := 0; written <= maxResponseBody; written += len(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+		}
+	}))
+	defer big.Close()
+	rt, err := New(Options{Replicas: []string{big.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/select", nil)
+	res := rt.forward(context.Background(), rt.replicas[0], req, nil)
+	if res.err == nil {
+		t.Fatalf("oversized response forwarded as success (status %d, %d bytes)", res.status, len(res.body))
+	}
+}
+
+// TestNoReadyReplicaStatusMetrics: the 503 written to the client on the
+// no-ready-replica path must be the same status recorded in metrics.
+func TestNoReadyReplicaStatusMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt, err := New(Options{Replicas: []string{"http://127.0.0.1:1"}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replica is never marked ready: pick finds nothing.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/select?model=m&nodes=2&ppn=1&msize=16", nil)
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503", rec.Code)
+	}
+	if n := reg.Counter("fleet_requests_total", obs.Labels{"endpoint": "select", "code": "503"}).Value(); n != 1 {
+		t.Fatalf("fleet_requests_total{code=503} = %d, want 1", n)
+	}
+}
+
 func TestPickRendezvousStable(t *testing.T) {
 	rt, err := New(Options{Replicas: []string{
 		"http://127.0.0.1:1", "http://127.0.0.1:2", "http://127.0.0.1:3",
@@ -177,9 +284,9 @@ func TestPickRendezvousStable(t *testing.T) {
 	}
 	now := time.Unix(0, 0)
 	// The same key always lands on the same owner.
-	owner := rt.pick(12345, nil, now)
+	owner := rt.pick(12345, nil, now, false)
 	for i := 0; i < 10; i++ {
-		if got := rt.pick(12345, nil, now); got != owner {
+		if got := rt.pick(12345, nil, now, false); got != owner {
 			t.Fatalf("pick moved from %s to %s for a stable key", owner.URL, got.URL)
 		}
 	}
@@ -195,14 +302,14 @@ func TestPickRendezvousStable(t *testing.T) {
 			break
 		}
 	}
-	got := rt.pick(12345, map[int]bool{owner.idx: true}, now)
+	got := rt.pick(12345, map[int]bool{owner.idx: true}, now, false)
 	if got != light {
 		t.Fatalf("fallback picked %s, want least-loaded %s", got.URL, light.URL)
 	}
 	// Different keys spread across replicas (not all on one owner).
 	seen := map[string]bool{}
 	for key := uint64(1); key < 64; key++ {
-		seen[rt.pick(key, nil, now).URL] = true
+		seen[rt.pick(key, nil, now, false).URL] = true
 	}
 	if len(seen) < 2 {
 		t.Fatalf("64 keys all hashed to one replica; rendezvous weights broken")
@@ -211,7 +318,7 @@ func TestPickRendezvousStable(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		owner.breaker.Report(false, now)
 	}
-	if got := rt.pick(12345, nil, now); got == owner {
+	if got := rt.pick(12345, nil, now, false); got == owner {
 		t.Fatal("pick routed to a replica with an open breaker")
 	}
 }

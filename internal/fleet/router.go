@@ -137,6 +137,12 @@ type Router struct {
 // retries and hedges); matches the replicas' own limit.
 const maxProxyBody = 1 << 20
 
+// maxResponseBody caps buffered backend responses. It is far larger than
+// the request cap — a legitimate /v1/batch answer (10k results with labels
+// and predictions) runs to several MiB — and overflowing it fails the
+// attempt instead of forwarding a truncated body under a 200.
+const maxResponseBody = 32 << 20
+
 // availabilityWindow sizes the router's client-visible availability burn
 // monitor (same objective as the replicas' own monitor).
 const availabilityWindow = 512
@@ -261,8 +267,10 @@ func rendezvousWeight(url string, key uint64) uint64 {
 // pick orders the routable replicas (ready, not excluded) and returns the
 // first one whose breaker admits the request: the key's rendezvous owner
 // first, then the rest by ascending load. A nil return means no replica
-// can take the request right now.
-func (rt *Router) pick(key uint64, exclude map[int]bool, now time.Time) *Replica {
+// can take the request right now. Hedge picks (hedge=true) only consider
+// replicas with a closed breaker: a hedge is cancelled whenever the
+// primary wins the race, so it must never carry a half-open probe.
+func (rt *Router) pick(key uint64, exclude map[int]bool, now time.Time, hedge bool) *Replica {
 	candidates := make([]*Replica, 0, len(rt.replicas))
 	for _, r := range rt.replicas {
 		if exclude[r.idx] || !r.ready.Load() {
@@ -301,6 +309,9 @@ func (rt *Router) pick(key uint64, exclude map[int]bool, now time.Time) *Replica
 		})
 	}
 	for _, r := range candidates {
+		if hedge && r.breaker.State() != BreakerClosed {
+			continue
+		}
 		if r.breaker.Allow(now) {
 			return r
 		}
@@ -355,8 +366,12 @@ func (rt *Router) forward(ctx context.Context, rep *Replica, r *http.Request, bo
 		res.err = err
 		// A cancelled attempt (hedge lost the race, or the client went
 		// away) says nothing about the replica's health: reporting it as
-		// a failure would let routine hedging open every breaker.
-		if !errors.Is(ctx.Err(), context.Canceled) {
+		// a failure would let routine hedging open every breaker. But if
+		// this attempt held the half-open probe slot, it must be released
+		// or the breaker wedges in half-open forever.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			rep.breaker.AbortProbe()
+		} else {
 			rep.failures.Add(1)
 			rep.breaker.Report(false, now)
 		}
@@ -365,10 +380,16 @@ func (rt *Router) forward(ctx context.Context, rep *Replica, r *http.Request, bo
 	defer func() { _ = resp.Body.Close() }()
 	res.status = resp.StatusCode
 	res.header = resp.Header
-	res.body, err = io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	res.body, err = io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err == nil && len(res.body) > maxResponseBody {
+		err = fmt.Errorf("response exceeds %d bytes", maxResponseBody)
+	}
 	if err != nil {
 		res.err = err
-		if !errors.Is(ctx.Err(), context.Canceled) {
+		res.body = nil
+		if errors.Is(ctx.Err(), context.Canceled) {
+			rep.breaker.AbortProbe()
+		} else {
 			rep.failures.Add(1)
 			rep.breaker.Report(false, now)
 		}
@@ -418,7 +439,7 @@ func (rt *Router) attemptHedged(ctx context.Context, primary *Replica, r *http.R
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			sec := rt.pick(key, tried, time.Now())
+			sec := rt.pick(key, tried, time.Now(), true)
 			if sec == nil {
 				continue
 			}
@@ -445,8 +466,15 @@ func (rt *Router) proxyHandler(endpoint string) http.Handler {
 			var err error
 			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
 			if err != nil {
-				rt.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
-				rt.observe(endpoint, http.StatusRequestEntityTooLarge, hist, t0)
+				// Only an actual over-limit read is a 413; aborted or
+				// broken client reads are their own fault class.
+				code, msg := http.StatusBadRequest, "reading request body: %v"
+				var mbe *http.MaxBytesError
+				if errors.As(err, &mbe) {
+					code, msg = http.StatusRequestEntityTooLarge, "request body too large: %v"
+				}
+				rt.writeError(w, code, msg, err)
+				rt.observe(endpoint, code, hist, t0)
 				return
 			}
 		}
@@ -462,7 +490,7 @@ func (rt *Router) proxyHandler(endpoint string) http.Handler {
 				backoff += time.Duration(rng.Float64() * float64(rt.opts.RetryBase))
 				time.Sleep(backoff)
 			}
-			rep := rt.pick(key, tried, time.Now())
+			rep := rt.pick(key, tried, time.Now(), false)
 			if rep == nil {
 				break
 			}
@@ -475,16 +503,19 @@ func (rt *Router) proxyHandler(endpoint string) http.Handler {
 			}
 		}
 		rt.clientErrors.Add(1)
-		if last.rep == nil && last.err == nil {
-			rt.writeError(w, http.StatusServiceUnavailable, "no ready replica")
-		} else if last.err != nil {
-			rt.writeError(w, http.StatusBadGateway, "all replicas failed, last: %v", last.err)
-		} else {
-			rt.writeAttempt(w, last) // forward the backend's 5xx verbatim
-		}
-		code := http.StatusBadGateway
-		if last.status >= 500 {
+		// The status written to the client and the one recorded in
+		// metrics must be the same value.
+		var code int
+		switch {
+		case last.rep == nil && last.err == nil:
+			code = http.StatusServiceUnavailable
+			rt.writeError(w, code, "no ready replica")
+		case last.err != nil:
+			code = http.StatusBadGateway
+			rt.writeError(w, code, "all replicas failed, last: %v", last.err)
+		default:
 			code = last.status
+			rt.writeAttempt(w, last) // forward the backend's 5xx verbatim
 		}
 		rt.observe(endpoint, code, hist, t0)
 	})
