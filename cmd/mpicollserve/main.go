@@ -256,7 +256,11 @@ func runLoadgen(log *obs.Logger, opts serve.LoadgenOptions, out string) {
 		target = strings.Join(opts.URLs, ", ")
 	}
 	log.Infof("loadgen: %d workers against %s for %s", opts.Workers, target, opts.Duration)
-	rep, err := serve.Loadgen(opts)
+	// Ctrl-C ends the run at the next request boundary; the partial report
+	// is still aggregated and written before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := serve.Loadgen(ctx, opts)
 	if rep.Requests > 0 {
 		log.Infof("loadgen: %d requests (%.1f%% cached, %d fallbacks, %d errors, %d retries), %.0f req/s, p50 %.0fus p90 %.0fus p99 %.0fus",
 			rep.Requests, 100*rep.CacheHitRatio, rep.Fallbacks, rep.Errors, rep.Retries, rep.QPS,

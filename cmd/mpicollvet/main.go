@@ -3,13 +3,22 @@
 //
 // Usage:
 //
-//	go run ./cmd/mpicollvet ./...          # text report, exit 1 on findings
-//	go run ./cmd/mpicollvet -json ./...    # machine-readable report
-//	go run ./cmd/mpicollvet -list          # describe the analyzers
+//	go run ./cmd/mpicollvet ./...                     # text report, exit 1 on findings
+//	go run ./cmd/mpicollvet -json ./...               # machine-readable report
+//	go run ./cmd/mpicollvet -list                     # describe the analyzers
+//	go run ./cmd/mpicollvet -sarif out.sarif ./...    # SARIF 2.1.0 for code scanning
+//	go run ./cmd/mpicollvet -write-baseline b.json ./...
+//	go run ./cmd/mpicollvet -baseline b.json ./...    # fail only on NEW findings
+//	go run ./cmd/mpicollvet -fix -diff ./...          # preview mechanical rewrites
+//	go run ./cmd/mpicollvet -fix ./...                # apply them in place
+//	go run ./cmd/mpicollvet -workers 4 -benchout BENCH_lint.json -min-speedup 2 ./...
 //
-// The analyzers enforce the pipeline's determinism, numeric-safety, and
-// metrics-hygiene invariants; see DESIGN.md §8 for the full catalogue and
-// the suppression-comment syntax.
+// The analyzers enforce the pipeline's determinism, numeric-safety,
+// metrics-hygiene, and concurrency-contract invariants. The per-file checks
+// are backed by an interprocedural call graph with blocking/nondeterminism
+// effect propagation; see DESIGN.md §8 for the catalogue, the effect
+// lattice, and the suppression-comment syntax. Output is byte-identical at
+// any -workers setting.
 package main
 
 import (

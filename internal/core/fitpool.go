@@ -85,6 +85,7 @@ func DefaultFitPool() *FitPool {
 	defaultPoolMu.Lock()
 	defer defaultPoolMu.Unlock()
 	if defaultPool == nil {
+		//mpicollvet:ignore lockscope first-use init: blocking other callers until the pool exists is the point
 		defaultPool = NewFitPool(0)
 	}
 	return defaultPool
@@ -97,7 +98,9 @@ func SetFitWorkers(n int) {
 	defaultPoolMu.Lock()
 	defer defaultPoolMu.Unlock()
 	if defaultPool != nil {
+		//mpicollvet:ignore lockscope startup-only swap; draining the old pool under the lock keeps DefaultFitPool callers off the dying pool
 		defaultPool.Close()
 	}
+	//mpicollvet:ignore lockscope startup-only swap, see Close above
 	defaultPool = NewFitPool(n)
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -349,7 +350,7 @@ func TestFleetChaosZeroClientErrors(t *testing.T) {
 	killer := time.AfterFunc(200*time.Millisecond, srvC.Close)
 	defer killer.Stop()
 
-	rep, err := serve.Loadgen(serve.LoadgenOptions{
+	rep, err := serve.Loadgen(context.Background(), serve.LoadgenOptions{
 		URLs:     []string{front.URL},
 		Duration: 600 * time.Millisecond,
 		Workers:  8,
@@ -412,7 +413,7 @@ func TestRolloutPromoteAndRollback(t *testing.T) {
 		Paths: []string{linPath}, Probes: 32, MaxDivergence: 1.0,
 		Nodes: []int{2, 4, 6}, PPNs: []int{1, 4}, Msizes: []int64{16, 1024, 16384},
 	}
-	st := rt.Rollout(inEnvelope)
+	st := rt.Rollout(context.Background(), inEnvelope)
 	if st.State != RolloutPromoted {
 		t.Fatalf("promote leg ended in %q (reason %q, steps %v), want %q",
 			st.State, st.Reason, st.Steps, RolloutPromoted)
@@ -437,7 +438,7 @@ func TestRolloutPromoteAndRollback(t *testing.T) {
 		Paths: []string{knnPath}, Probes: 64, MaxDivergence: 1.0,
 		Nodes: []int{64, 96}, PPNs: []int{16}, Msizes: []int64{1 << 22},
 	}
-	st = rt.Rollout(outOfEnvelope)
+	st = rt.Rollout(context.Background(), outOfEnvelope)
 	if st.State != RolloutRolledBack {
 		t.Fatalf("breach leg ended in %q (reason %q, steps %v), want %q",
 			st.State, st.Reason, st.Steps, RolloutRolledBack)
@@ -450,7 +451,7 @@ func TestRolloutPromoteAndRollback(t *testing.T) {
 	}
 
 	// A candidate that cannot load dies on the canary without touching it.
-	st = rt.Rollout(RolloutRequest{Paths: []string{filepath.Join(dir, "missing.snap")}})
+	st = rt.Rollout(context.Background(), RolloutRequest{Paths: []string{filepath.Join(dir, "missing.snap")}})
 	if st.State != RolloutFailed {
 		t.Fatalf("missing-snapshot rollout ended in %q, want %q", st.State, RolloutFailed)
 	}
@@ -491,5 +492,44 @@ func TestRouterReadyz(t *testing.T) {
 			t.Fatal("/readyz never flipped to 503 after the only replica died")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRolloutCancelledContext is the regression test for context threading
+// through the rollout's outbound HTTP calls: a cancelled caller context must
+// abort the state machine at its first replica call and leave every replica
+// on its previous snapshots, not run the probe loop against dead air.
+func TestRolloutCancelledContext(t *testing.T) {
+	knn, lin := testModels(t)
+	dir := t.TempDir()
+	knnPath := filepath.Join(dir, "knn.snap")
+	linPath := filepath.Join(dir, "lin.snap")
+	if err := knn.Sel.SaveSnapshot(knnPath, knn.Fp); err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Sel.SaveSnapshot(linPath, lin.Fp); err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*serve.Server, 2)
+	urls := make([]string, 2)
+	for i := range servers {
+		s, srv := newReplica(t, serve.Options{SnapshotPaths: []string{knnPath}, CacheSize: 64}, nil)
+		servers[i], urls[i] = s, srv.URL
+	}
+	rt := newRouter(t, urls, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := rt.Rollout(ctx, RolloutRequest{Paths: []string{linPath}})
+	if st.State != RolloutFailed {
+		t.Fatalf("cancelled rollout ended in %q (reason %q), want %q", st.State, st.Reason, RolloutFailed)
+	}
+	if !strings.Contains(st.Reason, "context canceled") {
+		t.Fatalf("failure reason %q does not surface the cancellation", st.Reason)
+	}
+	for i, s := range servers {
+		if got := s.SnapshotPaths(); len(got) != 1 || got[0] != knnPath {
+			t.Fatalf("replica %d snapshots changed to %v under a cancelled rollout", i, got)
+		}
 	}
 }

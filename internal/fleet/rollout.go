@@ -13,6 +13,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -104,7 +105,11 @@ type canaryTelemetry struct {
 
 // Rollout runs the canary state machine synchronously and returns its final
 // status. Only one rollout runs at a time; a concurrent call fails fast.
-func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
+// ctx bounds the whole run: cancelling it (the operator hung up, the server
+// is draining) aborts the in-flight replica call and fails the stage it was
+// in — a replica that already loaded the candidate set keeps it, which is
+// safe because loads are atomic and the status records how far we got.
+func (rt *Router) Rollout(ctx context.Context, req RolloutRequest) RolloutStatus {
 	if !rt.rolloutRun.TryLock() {
 		return RolloutStatus{State: RolloutFailed, Reason: "a rollout is already in progress"}
 	}
@@ -161,7 +166,7 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 	st.Canary, st.Baseline = canary.URL, baseline.URL
 
 	var hc replicaHealth
-	if err := rt.getJSON(canary.URL+"/healthz", &hc); err != nil {
+	if err := rt.getJSON(ctx, canary.URL+"/healthz", &hc); err != nil {
 		return fail("canary healthz: %v", err)
 	}
 	if len(hc.SnapshotPaths) == 0 {
@@ -171,7 +176,7 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 	step("canary %s (baseline %s), previous snapshots %v", canary.URL, baseline.URL, hc.SnapshotPaths)
 
 	// Stage 1: push the candidate snapshots to the canary only.
-	if err := rt.postReload(canary.URL, req.Paths); err != nil {
+	if err := rt.postReload(ctx, canary.URL, req.Paths); err != nil {
 		// The replica keeps serving its previous generation on a failed
 		// load, so there is nothing to roll back — the rollout just dies.
 		return fail("canary reload: %v", err)
@@ -180,7 +185,7 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 
 	rollback := func(reason string) RolloutStatus {
 		st.Reason = reason
-		if err := rt.postReload(canary.URL, st.PreviousPaths); err != nil {
+		if err := rt.postReload(ctx, canary.URL, st.PreviousPaths); err != nil {
 			return fail("%s; AND rollback reload failed: %v", reason, err)
 		}
 		st.State = RolloutRolledBack
@@ -197,11 +202,11 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 		msize := req.Msizes[rng.Intn(len(req.Msizes))]
 		q := fmt.Sprintf("/v1/select?nodes=%d&ppn=%d&msize=%d", nodes, ppn, msize)
 		var cp, bp selectProbe
-		if err := rt.getJSON(canary.URL+q, &cp); err != nil {
+		if err := rt.getJSON(ctx, canary.URL+q, &cp); err != nil {
 			st.CanaryErrors++
 			continue
 		}
-		if err := rt.getJSON(baseline.URL+q, &bp); err != nil {
+		if err := rt.getJSON(ctx, baseline.URL+q, &bp); err != nil {
 			continue // baseline trouble is not the canary's fault
 		}
 		if cp.ConfigID != bp.ConfigID {
@@ -222,7 +227,7 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 			100*st.Divergence, 100*req.MaxDivergence))
 	}
 	var tel canaryTelemetry
-	if err := rt.getJSON(canary.URL+"/v1/telemetry", &tel); err != nil {
+	if err := rt.getJSON(ctx, canary.URL+"/v1/telemetry", &tel); err != nil {
 		return rollback(fmt.Sprintf("canary telemetry unreadable: %v", err))
 	}
 	if tel.Availability.Level == "breach" {
@@ -243,7 +248,7 @@ func (rt *Router) Rollout(req RolloutRequest) RolloutStatus {
 		if r == canary || !r.alive.Load() {
 			continue
 		}
-		if err := rt.postReload(r.URL, req.Paths); err != nil {
+		if err := rt.postReload(ctx, r.URL, req.Paths); err != nil {
 			st.Failed = append(st.Failed, r.URL)
 			step("promote %s failed (still on previous snapshots): %v", r.URL, err)
 			continue
@@ -270,7 +275,7 @@ func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
 			rt.writeError(w, http.StatusBadRequest, "bad rollout request: %v", err)
 			return
 		}
-		st := rt.Rollout(req)
+		st := rt.Rollout(r.Context(), req)
 		rt.setRollout(st)
 		rt.writeJSON(w, http.StatusOK, st)
 	default:
@@ -279,8 +284,8 @@ func (rt *Router) handleRollout(w http.ResponseWriter, r *http.Request) {
 }
 
 // getJSON fetches url into out with the router's probe timeout.
-func (rt *Router) getJSON(url string, out any) error {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+func (rt *Router) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
@@ -288,12 +293,12 @@ func (rt *Router) getJSON(url string, out any) error {
 }
 
 // postReload asks a replica to switch its snapshot set.
-func (rt *Router) postReload(base string, paths []string) error {
+func (rt *Router) postReload(ctx context.Context, base string, paths []string) error {
 	body, err := json.Marshal(map[string][]string{"paths": paths})
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/reload", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/reload", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -20,7 +20,8 @@ var PanicAllowedPackages = []string{
 }
 
 // DefaultAnalyzers returns the full mpicollvet suite with this repository's
-// configuration.
+// configuration: the six PR-3 local AST checks plus the five interprocedural
+// concurrency-contract analyzers built on the call graph (DESIGN §8).
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewMapOrder(),
@@ -29,5 +30,10 @@ func DefaultAnalyzers() []*Analyzer {
 		NewWallClock(DeterministicPackages),
 		NewDroppedErr(),
 		NewPanicGuard(PanicAllowedPackages),
+		NewLockScope(),
+		NewGoLeak(GoroutineOwnedPackages),
+		NewWaitGroup(),
+		NewAtomicMix(),
+		NewCtxFlow(CtxPropagationPackages),
 	}
 }

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewAtomicMix returns the atomicmix analyzer: a variable or field whose
+// address is passed to sync/atomic in one place must never be read or
+// written plainly elsewhere in the package — mixed access is a data race
+// that -race only catches when the interleaving happens to occur in a test.
+// The typed atomics (atomic.Int64 and friends) make the mix impossible and
+// are the repo's preferred form; this check covers the legacy pointer API.
+func NewAtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "variable accessed via sync/atomic in one place and plainly elsewhere",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(pass *Pass) {
+	tracked := map[types.Object]bool{}  // objects used with sync/atomic
+	sanctioned := map[*ast.Ident]bool{} // identifiers inside &x atomic args
+	// Pass 1: collect the atomically-accessed objects.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPointerCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			id := rightmostIdent(addr.X)
+			if id == nil {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tracked[obj] = true
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	// Pass 2: flag every plain use of a tracked object.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tracked[obj] {
+				pass.Reportf(id.Pos(),
+					"plain access to %s, which is accessed via sync/atomic elsewhere; use atomic ops everywhere or a typed atomic", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicPointerCall reports whether call is a sync/atomic package function
+// taking an address as its first argument (AddT, LoadT, StoreT, SwapT,
+// CompareAndSwapT).
+func isAtomicPointerCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(f.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// rightmostIdent returns the identifier naming the accessed variable or
+// field: `x` -> x, `s.counter` -> counter.
+func rightmostIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}

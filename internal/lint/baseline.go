@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline mode: a recorded set of known findings that CI tolerates while
+// they are being burned down. Entries are keyed on (file, analyzer, message)
+// with an occurrence count — deliberately NOT on line numbers, so unrelated
+// edits that shift a known finding up or down do not break the build; only
+// genuinely new findings (or more occurrences of a known one) fail.
+
+// BaselineEntry is one known finding class.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the on-disk format.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// NewBaseline summarizes findings into a baseline, canonically sorted.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Analyzer, f.Message}]++
+	}
+	b := &Baseline{Version: 1}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaselineFile writes the baseline as indented JSON.
+func WriteBaselineFile(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaselineFile loads and validates a baseline file.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into new (not covered by the baseline) and known.
+// Each baseline entry absorbs up to Count occurrences of its key; the
+// occurrence past Count is new — a regression, not a known debt.
+func (b *Baseline) Filter(findings []Finding) (fresh, known []Finding) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			known = append(known, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, known
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, errb := runCLI("-write-baseline", path, "./testdata/src/driver/flagged")
+	if code != ExitClean {
+		t.Fatalf("-write-baseline exit = %d, want %d\nstderr:\n%s", code, ExitClean, errb)
+	}
+	if !strings.Contains(errb, "wrote baseline") {
+		t.Errorf("stderr missing write confirmation:\n%s", errb)
+	}
+
+	// The same findings filtered through their own baseline: clean run.
+	code, out, errb := runCLI("-baseline", path, "./testdata/src/driver/flagged")
+	if code != ExitClean {
+		t.Fatalf("-baseline exit = %d, want %d (all findings are known)\nstdout:\n%s\nstderr:\n%s",
+			code, ExitClean, out, errb)
+	}
+	if out != "" {
+		t.Errorf("known findings still printed:\n%s", out)
+	}
+	if !strings.Contains(errb, "known finding(s) suppressed by baseline") {
+		t.Errorf("stderr missing suppression note:\n%s", errb)
+	}
+}
+
+func TestBaselineCatchesNewFindings(t *testing.T) {
+	// A baseline recorded against a clean package tolerates nothing.
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if code, _, errb := runCLI("-write-baseline", path, "./testdata/src/driver/clean"); code != ExitClean {
+		t.Fatalf("-write-baseline exit = %d\nstderr:\n%s", code, errb)
+	}
+	code, out, _ := runCLI("-baseline", path, "./testdata/src/driver/flagged")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (new findings must fail)\nstdout:\n%s", code, ExitFindings, out)
+	}
+	if !strings.Contains(out, "[floateq]") {
+		t.Errorf("new findings not reported:\n%s", out)
+	}
+}
+
+func TestBaselineCountBudget(t *testing.T) {
+	f := func(msg string) Finding {
+		return Finding{File: "a.go", Line: 1, Col: 1, Analyzer: "floateq", Message: msg}
+	}
+	// Baseline recorded one occurrence; the code now has two of the same
+	// key. The second occurrence is a regression, not known debt.
+	base := NewBaseline([]Finding{f("x == y")})
+	fresh, known := base.Filter([]Finding{f("x == y"), f("x == y")})
+	if len(known) != 1 || len(fresh) != 1 {
+		t.Errorf("fresh = %d, known = %d; want 1 and 1", len(fresh), len(known))
+	}
+
+	// Line numbers deliberately do not participate in the key: the same
+	// finding shifted by an edit stays known.
+	moved := f("x == y")
+	moved.Line = 99
+	fresh, known = base.Filter([]Finding{moved})
+	if len(fresh) != 0 || len(known) != 1 {
+		t.Errorf("moved finding: fresh = %d, known = %d; want 0 and 1", len(fresh), len(known))
+	}
+}
+
+func TestBaselineBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaselineFile(path, &Baseline{Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaselineFile(path); err == nil {
+		t.Error("unsupported baseline version accepted")
+	}
+	code, _, errb := runCLI("-baseline", path, "./testdata/src/driver/clean")
+	if code != ExitError {
+		t.Errorf("exit = %d, want %d for bad baseline\nstderr:\n%s", code, ExitError, errb)
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestCallGraphGolden pins the graph layer's externally observable behavior
+// — node set, edges, dynamic resolution, and propagated effect labels — to a
+// golden dump. Analyzer precision rests on this layer; run with -update to
+// regenerate after a deliberate change.
+func TestCallGraphGolden(t *testing.T) {
+	pkgs, err := Load(".", []string{"./testdata/src/callgraph"})
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	g := BuildGraph(pkgs)
+	var buf bytes.Buffer
+	g.Dump(&buf, pkgs[0].ImportPath)
+
+	goldenPath := filepath.Join("testdata", "callgraph.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("call-graph dump diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestCallGraphEffects spot-checks the propagated labels the golden encodes,
+// with readable failures when a single label regresses.
+func TestCallGraphEffects(t *testing.T) {
+	pkgs, err := Load(".", []string{"./testdata/src/callgraph"})
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	g := BuildGraph(pkgs)
+	path := pkgs[0].ImportPath
+	cases := []struct {
+		fn   string
+		want Effects
+	}{
+		{path + ".Chain", EffBlocksIO},                  // two-hop static chain
+		{path + ".Deliver", EffBlocksIO},                // CHA: FileSink.Put blocks
+		{"(*" + path + ".MemSink).Put", 0},              // memory-only impl
+		{path + ".TakeValue", EffBlocksIO},              // method value ref edge
+		{path + ".Clock", EffWallClock},                 // clock root
+		{path + ".Spawn", EffSpawnsGoroutine},           // spawn bit, no chan leak
+		{path + ".Closures", EffBlocksChan},             // IIFE + nested closure
+		{path + ".CopyStream", EffBlocksIO},             // io.Copy root
+		{path + ".worker", EffBlocksChan | EffBlocksIO}, // range over chan + Deliver
+	}
+	for _, tc := range cases {
+		n, ok := g.Func(tc.fn)
+		if !ok {
+			t.Errorf("function %s missing from graph", tc.fn)
+			continue
+		}
+		if n.Effects() != tc.want {
+			t.Errorf("%s effects = %s, want %s", tc.fn, n.Effects(), tc.want)
+		}
+	}
+}
+
+// TestGraphDumpDeterministic builds the graph twice — serial and parallel —
+// and requires byte-identical dumps: the graph is the substrate every
+// analyzer's determinism rests on.
+func TestGraphDumpDeterministic(t *testing.T) {
+	pkgs, err := Load(".", []string{"./testdata/src/callgraph"})
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	var a, b bytes.Buffer
+	BuildGraphWorkers(pkgs, 1).Dump(&a, pkgs[0].ImportPath)
+	BuildGraphWorkers(pkgs, 4).Dump(&b, pkgs[0].ImportPath)
+	if a.String() != b.String() {
+		t.Errorf("serial and parallel graph dumps differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "dyn:") {
+		t.Errorf("dump lacks dynamic-dispatch records; fixture coverage lost:\n%s", a.String())
+	}
+}

@@ -7,13 +7,15 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 )
 
 // Exit codes of the mpicollvet driver.
 const (
 	ExitClean    = 0 // no findings
 	ExitFindings = 1 // at least one finding
-	ExitError    = 2 // usage, load, or type-check failure
+	ExitError    = 2 // usage, load, or type-check failure; failed bench gate
 )
 
 // CLIMain is the mpicollvet driver, factored out of cmd/mpicollvet so the
@@ -26,6 +28,14 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	workers := fs.Int("workers", 0, "concurrent package load/analysis (0 = GOMAXPROCS)")
+	sarifOut := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (- for stdout)")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit clean")
+	fix := fs.Bool("fix", false, "apply the mechanically-safe rewrites (floats.Eq, sim.StubRNG) in place")
+	diff := fs.Bool("diff", false, "with -fix semantics: print the rewrite diffs without writing files")
+	benchout := fs.String("benchout", "", "benchmark serial vs parallel runner, write JSON to this file, and exit")
+	minSpeedup := fs.Float64("min-speedup", 0, "with -benchout: fail (exit 2) if parallel/serial speedup is below this")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mpicollvet [flags] [packages]\n\n"+
 			"Runs the repository's domain-specific static analyzers over the\n"+
@@ -48,14 +58,81 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 		return ExitClean
 	}
 
-	pkgs, err := Load(*dir, fs.Args())
+	if *benchout != "" {
+		return runBench(*dir, fs.Args(), analyzers, *benchout, *minSpeedup, *workers, stderr)
+	}
+
+	pkgs, err := LoadWorkers(*dir, fs.Args(), *workers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return ExitError
 	}
-	runner := &Runner{Analyzers: analyzers}
+
+	if *fix || *diff {
+		write := *fix && !*diff
+		changed, err := ApplyFixes(pkgs, write, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitError
+		}
+		verb := "would change"
+		if write {
+			verb = "rewrote"
+		}
+		fmt.Fprintf(stderr, "mpicollvet -fix: %s %d file(s)\n", verb, changed)
+		return ExitClean
+	}
+
+	runner := &Runner{Analyzers: analyzers, Workers: *workers}
 	findings := runner.Run(pkgs)
 	relativize(findings)
+
+	if *writeBaseline != "" {
+		if err := WriteBaselineFile(*writeBaseline, NewBaseline(findings)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitError
+		}
+		fmt.Fprintf(stderr, "mpicollvet: wrote baseline with %d finding(s) to %s\n",
+			len(findings), *writeBaseline)
+		return ExitClean
+	}
+
+	if *baselinePath != "" {
+		base, err := ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitError
+		}
+		fresh, known := base.Filter(findings)
+		if len(known) > 0 {
+			fmt.Fprintf(stderr, "mpicollvet: %d known finding(s) suppressed by baseline %s\n",
+				len(known), *baselinePath)
+		}
+		findings = fresh
+	}
+
+	if *sarifOut != "" {
+		w := stdout
+		var f *os.File
+		if *sarifOut != "-" {
+			var err error
+			if f, err = os.Create(*sarifOut); err != nil {
+				fmt.Fprintln(stderr, err)
+				return ExitError
+			}
+			w = f
+		}
+		err := WriteSARIF(w, analyzers, findings)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return ExitError
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -67,7 +144,7 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return ExitError
 		}
-	} else {
+	} else if *sarifOut != "-" {
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -77,6 +154,90 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(findings) > 0 {
 		return ExitFindings
+	}
+	return ExitClean
+}
+
+// BenchResult is the BENCH_lint.json schema: the PR-5 convention of a small
+// machine-readable perf artifact with an explicit gate.
+type BenchResult struct {
+	Targets          int     `json:"targets"`
+	Workers          int     `json:"workers"`
+	SerialSeconds    float64 `json:"serial_seconds"`
+	ParallelSeconds  float64 `json:"parallel_seconds"`
+	Speedup          float64 `json:"speedup"`
+	Findings         int     `json:"findings"`
+	OutputsIdentical bool    `json:"outputs_identical"`
+	MinSpeedup       float64 `json:"min_speedup"`
+}
+
+// runBench times the full load+analyze pipeline serially and at the
+// requested worker count from one shared `go list` invocation, verifies the
+// outputs are byte-identical, and writes the JSON artifact. The serial leg
+// runs first so its page-cache warmup benefits the parallel leg — the bias
+// works against the speedup gate, not for it.
+func runBench(dir string, patterns []string, analyzers []*Analyzer, outPath string, minSpeedup float64, workers int, stderr io.Writer) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	l, err := list(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	leg := func(w int) (string, int, time.Duration, error) {
+		start := time.Now()
+		pkgs, err := l.load(w)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		runner := &Runner{Analyzers: analyzers, Workers: w}
+		findings := runner.Run(pkgs)
+		elapsed := time.Since(start)
+		text := ""
+		for _, f := range findings {
+			text += f.String() + "\n"
+		}
+		return text, len(findings), elapsed, nil
+	}
+	serialOut, nFindings, serialDur, err := leg(1)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	parallelOut, _, parallelDur, err := leg(workers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	res := BenchResult{
+		Targets:          len(l.targets),
+		Workers:          workers,
+		SerialSeconds:    serialDur.Seconds(),
+		ParallelSeconds:  parallelDur.Seconds(),
+		Speedup:          serialDur.Seconds() / parallelDur.Seconds(),
+		Findings:         nFindings,
+		OutputsIdentical: serialOut == parallelOut,
+		MinSpeedup:       minSpeedup,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, err)
+		return ExitError
+	}
+	fmt.Fprintf(stderr, "mpicollvet bench: %d pkgs, serial %.2fs, parallel(%d) %.2fs, speedup %.2fx, identical=%v\n",
+		res.Targets, res.SerialSeconds, res.Workers, res.ParallelSeconds, res.Speedup, res.OutputsIdentical)
+	if !res.OutputsIdentical {
+		fmt.Fprintln(stderr, "mpicollvet bench: FAIL — parallel output differs from serial")
+		return ExitError
+	}
+	if minSpeedup > 0 && res.Speedup < minSpeedup {
+		fmt.Fprintf(stderr, "mpicollvet bench: FAIL — speedup %.2fx below gate %.2fx\n", res.Speedup, minSpeedup)
+		return ExitError
 	}
 	return ExitClean
 }
@@ -93,4 +254,17 @@ func relativize(findings []Finding) {
 			findings[i].File = rel
 		}
 	}
+}
+
+// ReadBenchFile loads a -benchout artifact (BENCH_lint.json).
+func ReadBenchFile(path string) (*BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench file %s: %v", path, err)
+	}
+	return &r, nil
 }

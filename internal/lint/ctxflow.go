@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagationPackages are the request-path packages where outbound HTTP
+// must carry the inbound request's context: dropping it detaches proxy and
+// probe IO from client cancellation, which is exactly how the PR-7 fleet
+// failover guarantees break under load.
+var CtxPropagationPackages = []string{
+	"internal/serve", "internal/fleet",
+}
+
+// NewCtxFlow returns the ctxflow analyzer. Two rules:
+//
+//  1. A function that receives a context (a context.Context parameter or an
+//     *http.Request) must not mint a fresh context.Background()/TODO() —
+//     the caller's deadline and cancellation would be silently discarded.
+//     Closures inherit availability from their enclosing functions.
+//  2. In the restricted request-path packages, outbound requests must be
+//     built with http.NewRequestWithContext, never plain http.NewRequest.
+//
+// Background goroutines that own their own lifecycle (probers, sweepers)
+// have no context parameter and are untouched by rule 1.
+func NewCtxFlow(restricted []string) *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "fresh context minted where a caller context exists, or context-less outbound request",
+	}
+	a.Run = func(pass *Pass) {
+		restrictedPkg := anyPathMatches(pass.Pkg.Path(), restricted)
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkCtxFlow(pass, fd.Body, ctxParamName(pass, fd.Type), restrictedPkg)
+			}
+		}
+	}
+	return a
+}
+
+// checkCtxFlow walks one function body. ctxName is the name of the context
+// source in scope ("" when none); closures are recursed into with their own
+// parameters adding to the inherited availability.
+func checkCtxFlow(pass *Pass, body *ast.BlockStmt, ctxName string, restrictedPkg bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxName
+			if name := ctxParamName(pass, n.Type); name != "" {
+				inner = name
+			}
+			checkCtxFlow(pass, n.Body, inner, restrictedPkg)
+			return false
+		case *ast.CallExpr:
+			name := staticCalleeName(pass, n)
+			switch name {
+			case "context.Background", "context.TODO":
+				if ctxName != "" {
+					pass.Reportf(n.Pos(),
+						"%s discards the caller's context; propagate %s instead", name, ctxName)
+				}
+			case "net/http.NewRequest":
+				if ctxName != "" || restrictedPkg {
+					pass.Reportf(n.Pos(),
+						"http.NewRequest builds a context-less request; use http.NewRequestWithContext")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamName returns the expression naming the context available to a
+// function with the given signature: a context.Context parameter ("ctx") or
+// an *http.Request parameter ("r.Context()"). Empty when neither exists.
+func ctxParamName(pass *Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		kind := ""
+		if isNamedType(tv.Type, "context", "Context") {
+			kind = "ctx"
+		} else if ptr, ok := tv.Type.(*types.Pointer); ok &&
+			isNamedType(ptr.Elem(), "net/http", "Request") {
+			kind = "req"
+		}
+		if kind == "" {
+			continue
+		}
+		name := ""
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		if name == "" || name == "_" {
+			continue // declared but explicitly unused
+		}
+		if kind == "req" {
+			return name + ".Context()"
+		}
+		return name
+	}
+	return ""
+}
+
+// staticCalleeName resolves a call to its target's FullName, or "".
+func staticCalleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fn].(*types.Func); ok {
+			return funcName(f)
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fn.Sel].(*types.Func); ok {
+			return funcName(f)
+		}
+	}
+	return ""
+}
+
+// isNamedType reports whether t is the named type path.name.
+func isNamedType(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}

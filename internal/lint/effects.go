@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Effects is a bitmask of behavioral effects a function may have. Effects
+// are seeded at curated standard-library roots (effectRoots) and propagated
+// transitively callee-to-caller over the call graph, so an analyzer asking
+// "can this call block?" sees through arbitrarily deep helper chains.
+type Effects uint8
+
+const (
+	// EffBlocksIO: the function may block on file, network, or process IO
+	// (os.File reads/writes, HTTP round trips, exec waits, ...).
+	EffBlocksIO Effects = 1 << iota
+	// EffBlocksChan: the function may block on a channel operation, a
+	// WaitGroup/Cond wait, or a sleep.
+	EffBlocksChan
+	// EffWallClock: the function reads the wall clock (time.Now and kin).
+	EffWallClock
+	// EffGlobalRand: the function draws from math/rand's global source.
+	EffGlobalRand
+	// EffSpawnsGoroutine: the function starts a goroutine. Effects of the
+	// spawned body do NOT propagate through this bit — a spawn is
+	// asynchronous, so the spawner itself does not block.
+	EffSpawnsGoroutine
+)
+
+// EffBlocking are the effects that make a call unsafe under a held mutex.
+const EffBlocking = EffBlocksIO | EffBlocksChan
+
+// String renders the mask in a fixed order, e.g. "io|chan|spawn", or "none".
+func (e Effects) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, b := range []struct {
+		bit  Effects
+		name string
+	}{
+		{EffBlocksIO, "io"},
+		{EffBlocksChan, "chan"},
+		{EffWallClock, "clock"},
+		{EffGlobalRand, "rand"},
+		{EffSpawnsGoroutine, "spawn"},
+	} {
+		if e&b.bit != 0 {
+			parts = append(parts, b.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// effectRoots maps standard-library functions (keyed by types.Func.FullName,
+// e.g. "os.Open" or "(*os.File).Write") to their effects. The table is
+// curated rather than package-wide — net/http also contains pure helpers
+// like Header.Set that must not poison every caller with EffBlocksIO.
+var effectRoots = map[string]Effects{
+	// --- file and process IO ---
+	"os.Open": EffBlocksIO, "os.OpenFile": EffBlocksIO, "os.Create": EffBlocksIO,
+	"os.CreateTemp": EffBlocksIO, "os.MkdirTemp": EffBlocksIO,
+	"os.ReadFile": EffBlocksIO, "os.WriteFile": EffBlocksIO, "os.ReadDir": EffBlocksIO,
+	"os.Remove": EffBlocksIO, "os.RemoveAll": EffBlocksIO, "os.Rename": EffBlocksIO,
+	"os.Mkdir": EffBlocksIO, "os.MkdirAll": EffBlocksIO, "os.Stat": EffBlocksIO,
+	"os.Truncate":       EffBlocksIO,
+	"(*os.File).Read":   EffBlocksIO,
+	"(*os.File).ReadAt": EffBlocksIO, "(*os.File).Write": EffBlocksIO,
+	"(*os.File).WriteAt": EffBlocksIO, "(*os.File).WriteString": EffBlocksIO,
+	"(*os.File).Close": EffBlocksIO, "(*os.File).Sync": EffBlocksIO,
+	"(*os.File).Seek": EffBlocksIO, "(*os.File).Stat": EffBlocksIO,
+	"(*os.File).Truncate": EffBlocksIO,
+	"(*exec.Cmd).Run":     EffBlocksIO, "(*exec.Cmd).Output": EffBlocksIO,
+	"(*exec.Cmd).CombinedOutput": EffBlocksIO, "(*exec.Cmd).Wait": EffBlocksIO,
+	"(*exec.Cmd).Start": EffBlocksIO,
+
+	// --- generic stream IO: these block on whatever reader/writer they are
+	// handed, so callers are conservatively marked ---
+	"io.Copy": EffBlocksIO, "io.CopyN": EffBlocksIO, "io.CopyBuffer": EffBlocksIO,
+	"io.ReadAll": EffBlocksIO, "io.ReadFull": EffBlocksIO, "io.WriteString": EffBlocksIO,
+	"(*bufio.Writer).Flush": EffBlocksIO, "(*bufio.Writer).Write": EffBlocksIO,
+	"(*bufio.Writer).WriteString": EffBlocksIO, "(*bufio.Writer).WriteByte": EffBlocksIO,
+	"(*bufio.Writer).WriteRune": EffBlocksIO,
+	"(*bufio.Reader).Read":      EffBlocksIO, "(*bufio.Reader).ReadString": EffBlocksIO,
+	"(*bufio.Reader).ReadBytes": EffBlocksIO, "(*bufio.Reader).ReadLine": EffBlocksIO,
+	"(*bufio.Scanner).Scan": EffBlocksIO,
+	"fmt.Print":             EffBlocksIO, "fmt.Printf": EffBlocksIO, "fmt.Println": EffBlocksIO,
+	"fmt.Fprint": EffBlocksIO, "fmt.Fprintf": EffBlocksIO, "fmt.Fprintln": EffBlocksIO,
+	"fmt.Scan": EffBlocksIO, "fmt.Scanf": EffBlocksIO, "fmt.Scanln": EffBlocksIO,
+	"(*encoding/json.Encoder).Encode": EffBlocksIO,
+	"(*encoding/json.Decoder).Decode": EffBlocksIO,
+	"crypto/rand.Read":                EffBlocksIO,
+
+	// --- network IO ---
+	"net.Dial": EffBlocksIO, "net.DialTimeout": EffBlocksIO, "net.Listen": EffBlocksIO,
+	"(*net.Dialer).Dial": EffBlocksIO, "(*net.Dialer).DialContext": EffBlocksIO,
+	"net/http.Get": EffBlocksIO, "net/http.Post": EffBlocksIO,
+	"net/http.PostForm": EffBlocksIO, "net/http.Head": EffBlocksIO,
+	"(*net/http.Client).Do":  EffBlocksIO,
+	"(*net/http.Client).Get": EffBlocksIO, "(*net/http.Client).Post": EffBlocksIO,
+	"(*net/http.Client).PostForm": EffBlocksIO, "(*net/http.Client).Head": EffBlocksIO,
+	"(*net/http.Transport).RoundTrip": EffBlocksIO,
+	"net/http.ListenAndServe":         EffBlocksIO, "net/http.Serve": EffBlocksIO,
+	"(*net/http.Server).ListenAndServe": EffBlocksIO, "(*net/http.Server).Serve": EffBlocksIO,
+	"(*net/http.Server).Shutdown": EffBlocksIO, "(*net/http.Server).Close": EffBlocksIO,
+	"net/http.Error": EffBlocksIO,
+
+	// --- channel-shaped blocking ---
+	"(*sync.WaitGroup).Wait": EffBlocksChan,
+	"(*sync.Cond).Wait":      EffBlocksChan,
+	"time.Sleep":             EffBlocksChan | EffWallClock,
+
+	// --- wall clock (mirrors the wallclock analyzer's table) ---
+	"time.Now": EffWallClock, "time.Since": EffWallClock, "time.Until": EffWallClock,
+	"time.After": EffWallClock, "time.AfterFunc": EffWallClock, "time.Tick": EffWallClock,
+	"time.NewTicker": EffWallClock, "time.NewTimer": EffWallClock,
+
+	// --- math/rand global source (package functions, not *rand.Rand) ---
+	"math/rand.Int": EffGlobalRand, "math/rand.Intn": EffGlobalRand,
+	"math/rand.Int31": EffGlobalRand, "math/rand.Int31n": EffGlobalRand,
+	"math/rand.Int63": EffGlobalRand, "math/rand.Int63n": EffGlobalRand,
+	"math/rand.Uint32": EffGlobalRand, "math/rand.Uint64": EffGlobalRand,
+	"math/rand.Float32": EffGlobalRand, "math/rand.Float64": EffGlobalRand,
+	"math/rand.NormFloat64": EffGlobalRand, "math/rand.ExpFloat64": EffGlobalRand,
+	"math/rand.Perm": EffGlobalRand, "math/rand.Shuffle": EffGlobalRand,
+	"math/rand.Seed": EffGlobalRand,
+}
+
+// externalEffects returns the effects of a function outside the analyzed
+// package set. Unlisted externals are assumed effect-free — the table errs
+// toward precision over recall so lockscope findings stay actionable.
+func externalEffects(fullName string) Effects {
+	return effectRoots[fullName]
+}
+
+// dynFallbackEffects returns the conservative effects assumed for a dynamic
+// (interface-dispatched) call in addition to any analyzed implementations:
+// the canonical stream-interface method shapes (io.Reader.Read,
+// io.Writer.Write, http.Handler.ServeHTTP, ...) may always be backed by a
+// file or socket the analyzer cannot see.
+func dynFallbackEffects(name string, sig *types.Signature) Effects {
+	switch name {
+	case "ServeHTTP":
+		return EffBlocksIO
+	case "Read", "Write", "Close", "Flush", "Sync", "Accept",
+		"RoundTrip", "Seek", "ReadFrom", "WriteTo", "ReadByte", "WriteByte":
+		if sig == nil {
+			return 0
+		}
+		res := sig.Results()
+		if res.Len() > 0 && isErrorType(res.At(res.Len()-1).Type()) {
+			return EffBlocksIO
+		}
+	}
+	return 0
+}

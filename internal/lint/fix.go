@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// -fix: the two mechanically-safe rewrites. Both preserve compilation and
+// semantics-by-intent; neither invents policy:
+//
+//   - float ==/!= between non-constant operands becomes floats.Eq(a, b)
+//     (resp. !floats.Eq(a, b)), the repo's blessed epsilon comparison.
+//   - global math/rand draws with a direct sim.RNG equivalent become
+//     sim.StubRNG().<Method>(...) — deterministic immediately, and the stub
+//     constructor's doc tells the author to thread a properly derived seed.
+//
+// Sites carrying an //mpicollvet:ignore directive for the corresponding
+// analyzer are left untouched: a reviewed suppression outranks the fixer.
+
+// fixableRand maps math/rand global functions to the sim.RNG method with
+// identical shape. Draws without an equivalent (Perm, Shuffle, ...) stay
+// findings for a human.
+var fixableRand = map[string]string{
+	"Float64":     "Float64",
+	"Intn":        "Intn",
+	"Uint64":      "Uint64",
+	"NormFloat64": "Norm",
+}
+
+const (
+	floatsImportPath = "mpicollpred/internal/floats"
+	simImportPath    = "mpicollpred/internal/sim"
+)
+
+// fixEdit is one byte-range replacement in a file.
+type fixEdit struct {
+	off, end int
+	text     string
+}
+
+// fileFixes accumulates the edits and import adjustments for one file.
+type fileFixes struct {
+	path       string
+	file       *ast.File
+	fset       *token.FileSet
+	edits      []fixEdit
+	needFloats bool
+	needSim    bool
+	randFixed  map[string]int // rand pkg path -> rewritten call sites
+}
+
+// CollectFixes scans the packages and returns the per-file edit sets,
+// keyed by absolute file path. Suppressed sites are skipped.
+func CollectFixes(pkgs []*Package) map[string]*fileFixes {
+	out := map[string]*fileFixes{}
+	known := map[string]bool{"floateq": true, "seededrand": true}
+	for _, pkg := range pkgs {
+		sups, _ := collectSuppressions(pkg.Fset, pkg.Files, known)
+		suppressed := func(pos token.Pos, analyzer string) bool {
+			p := pkg.Fset.Position(pos)
+			return sups[suppressionKey{p.Filename, p.Line, analyzer}] ||
+				sups[suppressionKey{p.Filename, p.Line - 1, analyzer}]
+		}
+		for _, file := range pkg.Files {
+			path := pkg.Fset.Position(file.Pos()).Filename
+			ff := &fileFixes{path: path, file: file, fset: pkg.Fset, randFixed: map[string]int{}}
+			collectFloatEqFixes(pkg, file, ff, suppressed)
+			collectRandFixes(pkg, file, ff, suppressed)
+			if len(ff.edits) > 0 {
+				ff.planImports(pkg)
+				out[path] = ff
+			}
+		}
+	}
+	return out
+}
+
+// collectFloatEqFixes mirrors the floateq analyzer's detection (including
+// its exemptions) and rewrites each hit to floats.Eq.
+func collectFloatEqFixes(pkg *Package, file *ast.File, ff *fileFixes, suppressed func(token.Pos, string) bool) {
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.TypesInfo}
+	ast.Inspect(file, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, xok := pass.TypesInfo.Types[be.X]
+		yt, yok := pass.TypesInfo.Types[be.Y]
+		if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+			return true
+		}
+		if xt.Value != nil && yt.Value != nil {
+			return true
+		}
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true
+		}
+		if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+			return true
+		}
+		if suppressed(be.OpPos, "floateq") {
+			return true
+		}
+		neg := ""
+		if be.Op == token.NEQ {
+			neg = "!"
+		}
+		ff.edits = append(ff.edits, fixEdit{
+			off: ff.offset(be.Pos()),
+			end: ff.offset(be.End()),
+			text: fmt.Sprintf("%sfloats.Eq(%s, %s)",
+				neg, ff.sourceRange(be.X), ff.sourceRange(be.Y)),
+		})
+		ff.needFloats = true
+		return true
+	})
+}
+
+// collectRandFixes rewrites rand.F(args) into sim.StubRNG().M(args) for the
+// four draws with an exact sim.RNG equivalent.
+func collectRandFixes(pkg *Package, file *ast.File, ff *fileFixes, suppressed func(token.Pos, string) bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		randPath := pn.Imported().Path()
+		if randPath != "math/rand" && randPath != "math/rand/v2" {
+			return true
+		}
+		method, ok := fixableRand[sel.Sel.Name]
+		if !ok || suppressed(sel.Sel.Pos(), "seededrand") {
+			return true
+		}
+		ff.edits = append(ff.edits, fixEdit{
+			off:  ff.offset(sel.Pos()),
+			end:  ff.offset(sel.End()),
+			text: "sim.StubRNG()." + method,
+		})
+		ff.needSim = true
+		ff.randFixed[randPath]++
+		return true
+	})
+}
+
+func (ff *fileFixes) offset(pos token.Pos) int { return ff.fset.Position(pos).Offset }
+
+// sourceRange returns the original source text of a node.
+func (ff *fileFixes) sourceRange(n ast.Node) string {
+	src, err := os.ReadFile(ff.path)
+	if err != nil {
+		return types.ExprString(n.(ast.Expr))
+	}
+	return string(src[ff.offset(n.Pos()):ff.offset(n.End())])
+}
+
+// planImports adds edits that keep the file's import set consistent with
+// the rewrites: floats/sim are added unless already imported, and a
+// math/rand import whose every use was rewritten is removed.
+func (ff *fileFixes) planImports(pkg *Package) {
+	imported := map[string]bool{}
+	for _, spec := range ff.file.Imports {
+		imported[strings.Trim(spec.Path.Value, `"`)] = true
+	}
+	var add []string
+	if ff.needFloats && !imported[floatsImportPath] {
+		add = append(add, floatsImportPath)
+	}
+	if ff.needSim && !imported[simImportPath] {
+		add = append(add, simImportPath)
+	}
+	if len(add) > 0 {
+		ff.edits = append(ff.edits, ff.importInsertion(add))
+	}
+	// Remove math/rand if every selector use of it was rewritten.
+	for randPath, fixed := range ff.randFixed {
+		uses := 0
+		ast.Inspect(ff.file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pkg.TypesInfo.Uses[id].(*types.PkgName); ok &&
+				pn.Imported().Path() == randPath {
+				uses++
+			}
+			return true
+		})
+		if uses > 0 && fixed == uses {
+			for _, spec := range ff.file.Imports {
+				if strings.Trim(spec.Path.Value, `"`) == randPath {
+					ff.edits = append(ff.edits, ff.lineDeletion(spec))
+				}
+			}
+		}
+	}
+}
+
+// importInsertion builds the edit adding paths to the file's imports:
+// inside an existing parenthesized block when there is one, as a fresh
+// import declaration after the package clause otherwise. go/format cleans
+// up afterward.
+func (ff *fileFixes) importInsertion(paths []string) fixEdit {
+	sort.Strings(paths)
+	for _, decl := range ff.file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Rparen.IsValid() {
+			continue
+		}
+		var b strings.Builder
+		for _, p := range paths {
+			fmt.Fprintf(&b, "\t%q\n", p)
+		}
+		off := ff.offset(gd.Rparen)
+		return fixEdit{off: off, end: off, text: b.String()}
+	}
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "\nimport %q", p)
+	}
+	off := ff.offset(ff.file.Name.End())
+	return fixEdit{off: off, end: off, text: b.String()}
+}
+
+// lineDeletion deletes the import spec's whole line.
+func (ff *fileFixes) lineDeletion(spec *ast.ImportSpec) fixEdit {
+	src, err := os.ReadFile(ff.path)
+	if err != nil {
+		return fixEdit{off: ff.offset(spec.Pos()), end: ff.offset(spec.End())}
+	}
+	start := ff.offset(spec.Pos())
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := ff.offset(spec.End())
+	for end < len(src) && src[end] != '\n' {
+		end++
+	}
+	if end < len(src) {
+		end++ // include the newline
+	}
+	return fixEdit{off: start, end: end}
+}
+
+// apply returns the file content with all edits applied (descending offset
+// order, so earlier offsets stay valid) and gofmt'd.
+func (ff *fileFixes) apply() ([]byte, error) {
+	src, err := os.ReadFile(ff.path)
+	if err != nil {
+		return nil, err
+	}
+	edits := append([]fixEdit(nil), ff.edits...)
+	sort.Slice(edits, func(i, j int) bool { return edits[i].off > edits[j].off })
+	for i, e := range edits {
+		if i > 0 && e.end > edits[i-1].off {
+			return nil, fmt.Errorf("%s: overlapping fixes; re-run after applying the first batch", ff.path)
+		}
+		src = append(src[:e.off], append([]byte(e.text), src[e.end:]...)...)
+	}
+	out, err := format.Source(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: fixed source does not format: %v", ff.path, err)
+	}
+	return out, nil
+}
+
+// ApplyFixes runs the fixer over pkgs. With write=true files are rewritten
+// in place; otherwise a unified-style diff of every change is printed to w
+// (the dry-run mode). Returns the number of files that would change.
+func ApplyFixes(pkgs []*Package, write bool, w io.Writer) (int, error) {
+	fixes := CollectFixes(pkgs)
+	paths := make([]string, 0, len(fixes))
+	for p := range fixes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	changed := 0
+	for _, path := range paths {
+		ff := fixes[path]
+		fixed, err := ff.apply()
+		if err != nil {
+			return changed, err
+		}
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			return changed, err
+		}
+		if string(fixed) == string(orig) {
+			continue
+		}
+		changed++
+		if write {
+			if err := os.WriteFile(path, fixed, 0o644); err != nil {
+				return changed, err
+			}
+			continue
+		}
+		printDiff(w, displayPath(path), string(orig), string(fixed))
+	}
+	return changed, nil
+}
+
+// displayPath relativizes a path to the working directory when shorter.
+func displayPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}
+
+// printDiff emits a minimal line diff: the common prefix and suffix are
+// trimmed and the differing middle is shown as -/+ blocks with 1-based line
+// anchors. Enough to review a dry run; not a patch format.
+func printDiff(w io.Writer, path, oldSrc, newSrc string) {
+	oldLines := strings.Split(oldSrc, "\n")
+	newLines := strings.Split(newSrc, "\n")
+	pre := 0
+	for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(oldLines)-pre && suf < len(newLines)-pre &&
+		oldLines[len(oldLines)-1-suf] == newLines[len(newLines)-1-suf] {
+		suf++
+	}
+	fmt.Fprintf(w, "--- %s\n+++ %s (fixed)\n@@ line %d @@\n", path, path, pre+1)
+	for _, l := range oldLines[pre : len(oldLines)-suf] {
+		fmt.Fprintf(w, "-%s\n", l)
+	}
+	for _, l := range newLines[pre : len(newLines)-suf] {
+		fmt.Fprintf(w, "+%s\n", l)
+	}
+}

@@ -66,6 +66,11 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{NewWallClock([]string{"testdata/src/wallclock"}), "wallclock"},
 		{NewDroppedErr(), "droppederr"},
 		{NewPanicGuard([]string{"testdata/src/panicguard/clean"}), "panicguard"},
+		{NewLockScope(), "lockscope"},
+		{NewGoLeak([]string{"testdata/src/goleak"}), "goleak"},
+		{NewWaitGroup(), "waitgroup"},
+		{NewAtomicMix(), "atomicmix"},
+		{NewCtxFlow([]string{"testdata/src/ctxflow"}), "ctxflow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -141,7 +146,10 @@ func TestFindingString(t *testing.T) {
 }
 
 func TestDefaultAnalyzersComplete(t *testing.T) {
-	want := []string{"maporder", "floateq", "seededrand", "wallclock", "droppederr", "panicguard"}
+	want := []string{
+		"maporder", "floateq", "seededrand", "wallclock", "droppederr", "panicguard",
+		"lockscope", "goleak", "waitgroup", "atomicmix", "ctxflow",
+	}
 	got := map[string]bool{}
 	for _, a := range DefaultAnalyzers() {
 		if a.Doc == "" {

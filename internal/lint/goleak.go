@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoroutineOwnedPackages are the long-running serving packages whose
+// goroutines must have a shutdown path: the serve/fleet processes stay up
+// for days, so a goroutine with no escape is a leak, not a detail.
+var GoroutineOwnedPackages = []string{
+	"internal/serve", "internal/fleet", "internal/core",
+}
+
+// NewGoLeak returns the goleak analyzer: inside the restricted (long-lived
+// serving) packages, a spawned goroutine whose body contains an unbounded
+// `for` loop must have an escape on some path — a return or break, usually
+// driven by a ctx.Done/stop-channel select. The check resolves the spawned
+// body through the call graph, so `go p.loop()` is inspected the same as a
+// closure.
+//
+// The check is an under-approximation by design: loops with conditions,
+// range loops (closable channels), and escapes hidden behind calls are all
+// assumed fine. What it flags — `for { ... }` with no return and no break —
+// has no way to stop short of process exit.
+func NewGoLeak(restricted []string) *Analyzer {
+	a := &Analyzer{
+		Name: "goleak",
+		Doc:  "goroutine in a long-lived serving package with no shutdown escape",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Graph == nil || !anyPathMatches(pass.Pkg.Path(), restricted) {
+			return
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, ok := pass.Graph.SpawnedBody(gs)
+				if !ok {
+					return true
+				}
+				if loop := unboundedLoopNoEscape(body); loop != nil {
+					pass.Reportf(gs.Pos(),
+						"goroutine body has an unbounded for loop with no return or break; give it a ctx/done/Stop escape")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// unboundedLoopNoEscape returns the first `for {}`-style loop in body (not
+// nested inside another function literal) containing neither a return nor a
+// break statement anywhere inside it.
+func unboundedLoopNoEscape(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true
+			}
+			escapes := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.ReturnStmt:
+					escapes = true
+				case *ast.BranchStmt:
+					// A break anywhere inside counts, even from a nested
+					// loop: distinguishing targets soundly is not worth the
+					// false positives.
+					if m.Tok == token.BREAK {
+						escapes = true
+					}
+				case *ast.FuncLit:
+					return false
+				}
+				return !escapes
+			})
+			if !escapes {
+				found = n
+			}
+		}
+		return true
+	})
+	return found
+}

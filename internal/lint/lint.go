@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named check. Run inspects a single package via the
@@ -45,6 +46,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Graph is the whole-run call graph with propagated effects, shared
+	// read-only by every pass. Nil when an analyzer is driven outside the
+	// Runner; graph-based analyzers must tolerate that.
+	Graph *Graph
 
 	analyzer *Analyzer
 	findings *[]Finding
@@ -139,20 +144,28 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 // Runner applies a fixed suite of analyzers to loaded packages.
 type Runner struct {
 	Analyzers []*Analyzer
+	// Workers is the number of packages analyzed concurrently; values <= 1
+	// run serially. Output is byte-identical at any worker count: findings
+	// commit into a per-package slot indexed by load order and are then
+	// canonically sorted and deduplicated.
+	Workers int
 }
 
-// Run analyzes every package and returns the surviving findings sorted by
-// (file, line, column, analyzer). Findings on a line carrying (or directly
-// below) a matching ignore directive are dropped.
+// Run builds the call graph over all packages, analyzes every package, and
+// returns the surviving findings in canonical order: sorted by (file, line,
+// column, analyzer, message) with exact duplicates collapsed. Findings on a
+// line carrying (or directly below) a matching ignore directive are dropped.
 func (r *Runner) Run(pkgs []*Package) []Finding {
 	known := map[string]bool{}
 	for _, a := range r.Analyzers {
 		known[a.Name] = true
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
+	graph := BuildGraphWorkers(pkgs, r.Workers)
+	results := make([][]Finding, len(pkgs))
+	runPkg := func(i int) {
+		pkg := pkgs[i]
 		sups, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
-		out = append(out, bad...)
+		kept := bad
 		var raw []Finding
 		for _, a := range r.Analyzers {
 			pass := &Pass{
@@ -160,6 +173,7 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Graph:     graph,
 				analyzer:  a,
 				findings:  &raw,
 			}
@@ -170,12 +184,56 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 				sups[suppressionKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}] {
 				continue
 			}
-			out = append(out, f)
+			kept = append(kept, f)
 		}
+		results[i] = kept
+	}
+	forEachIndex(len(pkgs), r.Workers, runPkg)
+	var out []Finding
+	for _, fs := range results {
+		out = append(out, fs...)
 	}
 	for i := range out {
 		out[i].fill()
 	}
+	sortFindings(out)
+	return dedupFindings(out)
+}
+
+// forEachIndex runs fn(0..n-1) on a bounded worker pool (the PR-5 fit-pool
+// pattern); workers <= 1 runs inline.
+func forEachIndex(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// sortFindings orders findings canonically. The message is the final
+// tiebreak so that analyzers iterating unordered containers (type-info maps)
+// still produce byte-identical reports under any scheduling.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -187,9 +245,29 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+}
+
+// dedupFindings collapses exact duplicates in a sorted slice. Interprocedural
+// checks can legitimately reach the same defect from two spawn sites; one
+// report is enough.
+func dedupFindings(out []Finding) []Finding {
+	kept := out[:0]
+	for i, f := range out {
+		if i > 0 {
+			p := out[i-1]
+			if p.File == f.File && p.Line == f.Line && p.Col == f.Col &&
+				p.Analyzer == f.Analyzer && p.Message == f.Message {
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+	return kept
 }
 
 // pathMatches reports whether an import path matches pattern: exactly, as a

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -39,16 +40,17 @@ type listedPackage struct {
 	}
 }
 
-// Load resolves patterns (e.g. "./...") relative to dir with the go tool,
-// then parses and type-checks every matched package from source. Only
-// non-test Go files are analyzed — the analyzers' invariants target
-// production code, and the floateq rule explicitly exempts tests.
-//
-// Dependencies (including the standard library) are resolved from compiler
-// export data produced by `go list -export`, so the loader needs no
-// GOPATH-era package layout and no dependency beyond the go toolchain
-// itself.
-func Load(dir string, patterns []string) ([]*Package, error) {
+// listing is the result of the single `go list` invocation a load starts
+// with: the analysis targets plus export-data locations for every
+// dependency. It can be loaded more than once (the runtime benchmark loads
+// serially and in parallel from the same listing).
+type listing struct {
+	exports map[string]string
+	targets []listedPackage
+}
+
+// list resolves patterns (e.g. "./...") relative to dir with the go tool.
+func list(dir string, patterns []string) (*listing, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -65,8 +67,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
 	}
 
-	exports := map[string]string{}
-	var targets []listedPackage
+	l := &listing{exports: map[string]string{}}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPackage
@@ -76,7 +77,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("lint: parsing go list output: %v", err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			l.exports[p.ImportPath] = p.Export
 		}
 		if p.DepOnly || p.Standard {
 			continue
@@ -84,50 +85,119 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		targets = append(targets, p)
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		l.targets = append(l.targets, p)
 	}
+	return l, nil
+}
 
+// load parses and type-checks every listed target from source, with up to
+// workers packages in flight at once. The token.FileSet is shared (it locks
+// internally); each worker owns its importer and types.Config, because the
+// gc importer's cache is not safe for concurrent use. Resulting *types*
+// object identities therefore differ between worker universes for the same
+// dependency — which is why the call graph (callgraph.go) keys functions on
+// FullName strings rather than object pointers. Package order and any error
+// reported are independent of scheduling: results commit into load-order
+// slots and the first error by index wins.
+func (l *listing) load(workers int) ([]*Package, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		exp, ok := exports[path]
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(exp)
-	})
-	conf := types.Config{Importer: imp}
-
-	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
-		}
-		files := make([]*ast.File, 0, len(t.GoFiles))
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
+	}
+	pkgs := make([]*Package, len(l.targets))
+	errs := make([]error, len(l.targets))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	nworkers := workers
+	if nworkers > len(l.targets) {
+		nworkers = len(l.targets)
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	for w := 0; w < nworkers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+			for i := range jobs {
+				pkgs[i], errs[i] = loadOne(fset, &conf, l.targets[i])
 			}
-			files = append(files, f)
-		}
-		info := &types.Info{
-			Types:      map[ast.Expr]types.TypeAndValue{},
-			Uses:       map[*ast.Ident]types.Object{},
-			Defs:       map[*ast.Ident]types.Object{},
-			Selections: map[*ast.SelectorExpr]*types.Selection{},
-		}
-		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		}()
+	}
+	for i := range l.targets {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < nworkers; w++ {
+		<-done
+	}
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, &Package{
-			ImportPath: t.ImportPath,
-			Dir:        t.Dir,
-			Fset:       fset,
-			Files:      files,
-			Types:      tpkg,
-			TypesInfo:  info,
-		})
 	}
 	return pkgs, nil
+}
+
+// loadOne parses and type-checks a single package.
+func loadOne(fset *token.FileSet, conf *types.Config, t listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Load resolves patterns with the go tool, then parses and type-checks every
+// matched package from source on GOMAXPROCS workers. Only non-test Go files
+// are analyzed — the analyzers' invariants target production code, and the
+// floateq rule explicitly exempts tests.
+//
+// Dependencies (including the standard library) are resolved from compiler
+// export data produced by `go list -export`, so the loader needs no
+// GOPATH-era package layout and no dependency beyond the go toolchain
+// itself.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	return LoadWorkers(dir, patterns, 0)
+}
+
+// LoadWorkers is Load with an explicit parallelism bound; workers <= 0 means
+// GOMAXPROCS.
+func LoadWorkers(dir string, patterns []string, workers int) ([]*Package, error) {
+	l, err := list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(workers)
 }

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mutexMethods maps the sync locking entry points to their releasing
+// counterparts. TryLock deliberately does not open a region: the repo's
+// single-flight pattern (fleet rollout) holds a TryLock'd mutex across an
+// entire rollout by design, and a failed TryLock holds nothing.
+var mutexLockPairs = map[string]string{
+	"(*sync.Mutex).Lock":    "(*sync.Mutex).Unlock",
+	"(*sync.RWMutex).Lock":  "(*sync.RWMutex).Unlock",
+	"(*sync.RWMutex).RLock": "(*sync.RWMutex).RUnlock",
+}
+
+// lockRegion is a source range during which a mutex is held: from a
+// Lock/RLock call to the matching Unlock on the same receiver expression
+// (source order), or to the end of the function when the unlock is deferred
+// or absent.
+type lockRegion struct {
+	recv       string    // rendered receiver expression, e.g. "b.mu"
+	start, end token.Pos // exclusive of the lock call itself
+	body       *ast.BlockStmt
+}
+
+// mutexRegions computes every lock region in the package. The scan is a
+// deliberate under-approximation: regions follow source order within one
+// function body (a branch that unlocks early simply ends the region at that
+// unlock), and deferred statements inside a region are not attributed to it
+// even though LIFO ordering can run them under the lock.
+func mutexRegions(pass *Pass) []lockRegion {
+	var regions []lockRegion
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			regions = append(regions, regionsInBody(pass, body)...)
+			return true // nested closures scanned by their own visit
+		})
+	}
+	return regions
+}
+
+// regionsInBody finds lock regions whose Lock call appears directly in this
+// function body (closures excluded — they have their own bodies).
+func regionsInBody(pass *Pass, body *ast.BlockStmt) []lockRegion {
+	type lockCall struct {
+		call   *ast.CallExpr
+		recv   string
+		unlock string
+	}
+	var locks []lockCall
+	unlocks := map[string][]token.Pos{} // "recv\x00method" -> call positions
+	deferred := map[string]bool{}       // same key, appears in a defer
+	var nodes []ast.Node                // body nodes excluding closure subtrees
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		nodes = append(nodes, n)
+		return true
+	})
+	var deferRanges [][2]token.Pos
+	for _, n := range nodes {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferRanges = append(deferRanges, [2]token.Pos{d.Pos(), d.End()})
+		}
+	}
+	isDefer := func(pos token.Pos) bool {
+		for _, r := range deferRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range nodes {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		name := mutexMethodName(pass, sel)
+		if name == "" {
+			continue
+		}
+		recv := types.ExprString(sel.X)
+		if unlock, isLock := mutexLockPairs[name]; isLock && !isDefer(call.Pos()) {
+			locks = append(locks, lockCall{call: call, recv: recv, unlock: unlock})
+			continue
+		}
+		key := recv + "\x00" + name
+		if isDefer(call.Pos()) {
+			deferred[key] = true
+		} else {
+			unlocks[key] = append(unlocks[key], call.Pos())
+		}
+	}
+	var regions []lockRegion
+	for _, lc := range locks {
+		r := lockRegion{recv: lc.recv, start: lc.call.End(), end: body.End(), body: body}
+		key := lc.recv + "\x00" + lc.unlock
+		if !deferred[key] {
+			for _, pos := range unlocks[key] {
+				if pos > lc.call.End() && pos < r.end {
+					r.end = pos
+				}
+			}
+		}
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+// mutexMethodName returns the sync mutex method FullName a selector resolves
+// to ("(*sync.Mutex).Lock", ...), or "" if it is not one. Embedded mutexes
+// resolve through the selection's method object, so `s.Lock()` on a struct
+// embedding sync.Mutex is recognized.
+func mutexMethodName(pass *Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return ""
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok {
+		return ""
+	}
+	name := funcName(f)
+	if _, isLock := mutexLockPairs[name]; isLock {
+		return name
+	}
+	for _, unlock := range mutexLockPairs {
+		if name == unlock {
+			return name
+		}
+	}
+	return ""
+}
+
+// regionNodes visits every node executed synchronously inside the region:
+// closure bodies and go statements are skipped (a closure's effects surface
+// at its call site; a spawn does not block), as are deferred calls (they run
+// at return, outside the source region model).
+func (r lockRegion) nodes(visit func(ast.Node)) {
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		if n.Pos() >= r.start && n.Pos() < r.end {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// NewLockScope returns the lockscope analyzer: no sync.Mutex/RWMutex may be
+// held across a transitively-blocking call (file/network IO, channel
+// operations, sleeps) or a direct channel operation. Blocking under a lock
+// turns an intended microsecond critical section into one bounded by disk
+// or peer latency, and is how the serving tier's tail latencies are born.
+func NewLockScope() *Analyzer {
+	return &Analyzer{
+		Name: "lockscope",
+		Doc:  "mutex held across a transitively-blocking call or channel operation",
+		Run:  runLockScope,
+	}
+}
+
+func runLockScope(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	for _, r := range mutexRegions(pass) {
+		seen := map[string]bool{} // one report per callee per region
+		r.nodes(func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while %s is held", r.recv)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while %s is held", r.recv)
+				}
+			case *ast.SelectStmt:
+				blocking := true
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						blocking = false
+					}
+				}
+				if blocking {
+					pass.Reportf(n.Pos(), "blocking select while %s is held", r.recv)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel while %s is held", r.recv)
+					}
+				}
+			case *ast.CallExpr:
+				eff, name := pass.Graph.CallEffects(n)
+				if eff&EffBlocking == 0 || name == "" {
+					return
+				}
+				// WaitGroup.Wait under a lock is the waitgroup analyzer's
+				// finding; don't double-report it here.
+				if name == "(*sync.WaitGroup).Wait" || seen[name] {
+					return
+				}
+				seen[name] = true
+				pass.Reportf(n.Pos(), "call to %s (effects: %s) while %s is held",
+					name, eff&EffBlocking, r.recv)
+			}
+		})
+	}
+}

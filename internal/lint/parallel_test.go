@@ -1,0 +1,62 @@
+package lint
+
+import "testing"
+
+// TestParallelOutputByteIdentical is the ordering contract with teeth: the
+// concurrent runner must produce output indistinguishable from the serial
+// one, byte for byte, across every testdata package at once. The dev
+// container may have a single core — this asserts identity, not speedup;
+// the ≥2× speedup gate runs in CI via `mpicollvet -benchout -min-speedup`.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-package analysis in -short mode")
+	}
+	run := func(workers string) (int, string) {
+		code, out, errb := runCLI("-json", "-workers", workers,
+			"./testdata/src/driver/...",
+			"./testdata/src/lockscope/...",
+			"./testdata/src/goleak/...",
+			"./testdata/src/waitgroup/...",
+			"./testdata/src/atomicmix/...",
+			"./testdata/src/ctxflow/...",
+			"./testdata/src/floateq/...",
+			"./testdata/src/seededrand/...",
+		)
+		if code != ExitFindings {
+			t.Fatalf("workers=%s exit = %d, want %d\nstderr:\n%s", workers, code, ExitFindings, errb)
+		}
+		return code, out
+	}
+	_, serial := run("1")
+	_, parallel := run("4")
+	if serial == "" {
+		t.Fatal("no output from serial run")
+	}
+	if serial != parallel {
+		t.Errorf("parallel output differs from serial\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestBenchMode exercises the -benchout harness end to end (gate disabled:
+// speedup on a possibly single-core machine is not asserted locally).
+func TestBenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping bench harness in -short mode")
+	}
+	path := t.TempDir() + "/bench.json"
+	code, _, errb := runCLI("-workers", "2", "-benchout", path, "./testdata/src/driver/...")
+	if code != ExitClean {
+		t.Fatalf("bench exit = %d, want %d\nstderr:\n%s", code, ExitClean, errb)
+	}
+	res, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsIdentical {
+		t.Error("bench legs produced different output")
+	}
+	if res.Workers != 2 || res.Targets == 0 || res.SerialSeconds <= 0 || res.ParallelSeconds <= 0 {
+		t.Errorf("implausible bench result: %+v", res)
+	}
+}

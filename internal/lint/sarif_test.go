@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSARIFStdout(t *testing.T) {
+	code, out, errb := runCLI("-sarif", "-", "./testdata/src/driver/flagged")
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitFindings, errb)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("stdout is not valid SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version = %q, schema = %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mpicollvet" {
+		t.Errorf("driver name = %q, want mpicollvet", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range DefaultAnalyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rules missing analyzer %s", a.Name)
+		}
+	}
+	if !ruleIDs["ignore"] {
+		t.Error("rules missing the ignore pseudo-rule")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a flagged package")
+	}
+	for _, r := range run.Results {
+		if r.Level != "warning" || r.RuleID == "" || r.Message.Text == "" {
+			t.Errorf("malformed result: %+v", r)
+		}
+		if len(r.Locations) != 1 ||
+			!strings.Contains(r.Locations[0].PhysicalLocation.ArtifactLocation.URI, "flagged.go") ||
+			r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("malformed location: %+v", r.Locations)
+		}
+	}
+}
+
+func TestSARIFFileAndDeterminism(t *testing.T) {
+	read := func() string {
+		path := filepath.Join(t.TempDir(), "out.sarif")
+		code, _, errb := runCLI("-sarif", path, "./testdata/src/driver/flagged")
+		if code != ExitFindings {
+			t.Fatalf("exit = %d, want %d\nstderr:\n%s", code, ExitFindings, errb)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a, b := read(), read()
+	if a != b {
+		t.Error("two SARIF runs over the same input differ byte-for-byte")
+	}
+	if !strings.Contains(a, `"ruleId": "floateq"`) {
+		t.Errorf("SARIF file missing expected result:\n%s", a)
+	}
+}

@@ -1,0 +1,44 @@
+// Package clean exercises the shapes atomicmix must accept: consistently
+// atomic access through the pointer API, typed atomics, and plain variables
+// never touched by sync/atomic.
+package clean
+
+import "sync/atomic"
+
+// Consistent uses atomic ops for every access.
+type Consistent struct {
+	n int64
+}
+
+// Inc and Total both go through sync/atomic.
+func (c *Consistent) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Total loads atomically.
+func (c *Consistent) Total() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Typed uses the repo-preferred typed atomics, where mixing is impossible.
+type Typed struct {
+	n atomic.Int64
+}
+
+// Inc and Total use the typed API.
+func (t *Typed) Inc() {
+	t.n.Add(1)
+}
+
+// Total loads via the typed API.
+func (t *Typed) Total() int64 {
+	return t.n.Load()
+}
+
+// plain is never atomic, so plain access is fine.
+var plain int
+
+// Bump increments a mutex-free, goroutine-free counter.
+func Bump() {
+	plain++
+}

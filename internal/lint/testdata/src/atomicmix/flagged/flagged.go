@@ -1,0 +1,38 @@
+// Package flagged violates the atomicmix invariant: the same word is
+// accessed through sync/atomic in one place and plainly in another.
+package flagged
+
+import "sync/atomic"
+
+// Hits mixes atomic increments with plain reads.
+type Hits struct {
+	n int64
+}
+
+// Inc is the atomic side.
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Total is the racy plain read.
+func (h *Hits) Total() int64 {
+	return h.n // want "plain access to n"
+}
+
+// Reset is a racy plain write.
+func (h *Hits) Reset() {
+	h.n = 0 // want "plain access to n"
+}
+
+// package-level counter with the same mix.
+var ops uint64
+
+// Bump is atomic.
+func Bump() {
+	atomic.AddUint64(&ops, 1)
+}
+
+// Ops reads plainly.
+func Ops() uint64 {
+	return ops // want "plain access to ops"
+}

@@ -1,0 +1,89 @@
+// Package callgraph is the golden-test fixture for the graph layer: it
+// exercises static calls, helper chains, interface dispatch, method values,
+// closures (including an IIFE), spawns, channel ops, and every effect root
+// class, so a graph regression fails this fixture loudly.
+package callgraph
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// Sink is dispatched dynamically; both implementations are in-package.
+type Sink interface {
+	Put(b []byte) error
+}
+
+// FileSink blocks on IO.
+type FileSink struct{ f *os.File }
+
+// Put writes to the file.
+func (s *FileSink) Put(b []byte) error {
+	_, err := s.f.Write(b)
+	return err
+}
+
+// MemSink is effect-free.
+type MemSink struct{ buf []byte }
+
+// Put appends in memory.
+func (s *MemSink) Put(b []byte) error {
+	s.buf = append(s.buf, b...)
+	return nil
+}
+
+// Deliver calls through the interface: CHA unions both implementations.
+func Deliver(s Sink, b []byte) error {
+	return s.Put(b)
+}
+
+// Chain reaches IO two hops down.
+func Chain(path string, b []byte) error {
+	return hop1(path, b)
+}
+
+func hop1(path string, b []byte) error { return hop2(path, b) }
+
+func hop2(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+// TakeValue stores a method value: a conservative may-call edge.
+func TakeValue(s *FileSink) func([]byte) error {
+	return s.Put
+}
+
+// Clock reads wall-clock time.
+func Clock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Spawn starts a worker; the worker's channel blocking must not leak into
+// Spawn's own effects, but the spawn bit must.
+func Spawn(jobs chan []byte, s Sink) {
+	go worker(jobs, s)
+}
+
+func worker(jobs chan []byte, s Sink) {
+	for b := range jobs {
+		_ = Deliver(s, b)
+	}
+}
+
+// Closures nests two closures; the inner one blocks on a channel, the IIFE
+// runs synchronously so its effects surface in Closures itself.
+func Closures(ch chan int) int {
+	inner := func() int {
+		return <-ch
+	}
+	total := func() int { // IIFE: called immediately below
+		return inner() + inner()
+	}()
+	return total
+}
+
+// CopyStream blocks through the generic io helper.
+func CopyStream(dst io.Writer, src io.Reader) error {
+	_, err := io.Copy(dst, src)
+	return err
+}

@@ -1,0 +1,35 @@
+// Package clean exercises the context flows ctxflow must accept: handlers
+// propagating r.Context(), ctx parameters threaded through, and lifecycle-
+// owning background goroutines minting their own root context.
+package clean
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Proxy threads the inbound request context into the outbound request.
+func Proxy(w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://backend/x", nil)
+	if err != nil {
+		return
+	}
+	_, _ = http.DefaultClient.Do(req)
+}
+
+// Forward derives from the caller's ctx.
+func Forward(ctx context.Context, url string) (*http.Request, error) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// prober owns its lifecycle: no caller context exists, so a fresh root is
+// the correct choice (rule 1 does not apply without a ctx in scope, and the
+// request carries it).
+func prober(url string) (*http.Request, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}

@@ -1,0 +1,40 @@
+// Package flagged violates the ctxflow contract: fresh contexts minted
+// where a caller context exists, and context-less outbound requests in a
+// restricted request-path package.
+package flagged
+
+import (
+	"context"
+	"net/http"
+)
+
+// Proxy discards the handler's request context.
+func Proxy(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0) // want "discards the caller's context; propagate r.Context()"
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://backend/x", nil)
+	if err != nil {
+		return
+	}
+	_, _ = http.DefaultClient.Do(req)
+}
+
+// Forward builds a context-less request despite having a ctx parameter.
+func Forward(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want "use http.NewRequestWithContext"
+}
+
+// probe has no ctx parameter, but this package is restricted: outbound
+// requests must still carry a context.
+func probe(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want "use http.NewRequestWithContext"
+}
+
+// Handler mints a Background inside a closure whose enclosing function has
+// the request.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	run := func() context.Context {
+		return context.TODO() // want "discards the caller's context"
+	}
+	_ = run()
+}

@@ -1,0 +1,29 @@
+// Package fixer is the -fix engine fixture: every rewrite class in one
+// file, plus one suppressed site the fixer must leave alone.
+package fixer
+
+import (
+	"math/rand"
+)
+
+// Jitter draws three global math/rand deviates; each has an exact sim.RNG
+// equivalent, so -fix rewrites all of them and drops the import.
+func Jitter() float64 {
+	base := rand.Float64()
+	steps := rand.Intn(8)
+	noise := rand.NormFloat64()
+	return base + float64(steps) + noise
+}
+
+// Converged compares floats with ==/!=; -fix rewrites both to floats.Eq.
+func Converged(prev, cur float64) bool {
+	if prev == cur {
+		return true
+	}
+	return cur != prev+1
+}
+
+// Exact keeps its reviewed bitwise comparison: the directive outranks -fix.
+func Exact(a, b float64) bool {
+	return a == b //mpicollvet:ignore floateq exact bitwise equality is intended here
+}

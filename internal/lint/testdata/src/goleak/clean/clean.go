@@ -1,0 +1,53 @@
+// Package clean exercises the goroutine shapes goleak must accept: a
+// stop-channel select with return, a range over a closable channel, a
+// bounded loop, and a one-shot goroutine.
+package clean
+
+import "time"
+
+// Prober is the repo's prober pattern: select on stop, return.
+type Prober struct {
+	stop chan struct{}
+	tick *time.Ticker
+}
+
+// Start has a shutdown path.
+func (p *Prober) Start() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-p.tick.C:
+				p.sweep()
+			}
+		}
+	}()
+}
+
+func (p *Prober) sweep() {}
+
+// Drain ranges over a channel; closing it ends the goroutine.
+func Drain(jobs chan func()) {
+	go func() {
+		for f := range jobs {
+			f()
+		}
+	}()
+}
+
+// Burst runs a bounded loop.
+func Burst(n int, f func()) {
+	go func() {
+		for i := 0; i < n; i++ {
+			f()
+		}
+	}()
+}
+
+// OneShot has no loop at all.
+func OneShot(done chan<- struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,35 @@
+// Package flagged violates the goleak invariant: goroutines in a long-lived
+// package whose loops have no escape path.
+package flagged
+
+import "time"
+
+// Poller loops forever with no way out.
+type Poller struct {
+	tick *time.Ticker
+}
+
+// Start leaks: the loop has neither return nor break.
+func (p *Poller) Start() {
+	go func() { // want "unbounded for loop with no return or break"
+		for {
+			<-p.tick.C
+			p.sweep()
+		}
+	}()
+}
+
+func (p *Poller) sweep() {}
+
+// loop is a named spawn target resolved through the call graph.
+func (p *Poller) loop() {
+	for {
+		<-p.tick.C
+		p.sweep()
+	}
+}
+
+// StartNamed leaks through a named method.
+func (p *Poller) StartNamed() {
+	go p.loop() // want "unbounded for loop with no return or break"
+}

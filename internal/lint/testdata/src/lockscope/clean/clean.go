@@ -1,0 +1,74 @@
+// Package clean exercises the lock patterns the lockscope analyzer must
+// accept: memory-only critical sections, early unlock before blocking, copy
+// under lock then operate, TryLock single-flight, and spawning (not
+// blocking) under a lock.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+// Counter is a memory-only critical section.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc touches memory only.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Snapshot copies under the lock and does IO after releasing it.
+type Snapshot struct {
+	mu   sync.Mutex
+	data []byte
+	path string
+}
+
+// Save releases before blocking.
+func (s *Snapshot) Save() error {
+	s.mu.Lock()
+	buf := make([]byte, len(s.data))
+	copy(buf, s.data)
+	s.mu.Unlock()
+	return os.WriteFile(s.path, buf, 0o644)
+}
+
+// SingleFlight holds a TryLock'd mutex across IO by design (the fleet
+// rollout pattern): a failed TryLock holds nothing, and the single flight
+// owns the lock for its whole run.
+type SingleFlight struct {
+	run  sync.Mutex
+	path string
+}
+
+// Run is the single flight.
+func (s *SingleFlight) Run() error {
+	if !s.run.TryLock() {
+		return nil
+	}
+	defer s.run.Unlock()
+	return os.WriteFile(s.path, nil, 0o644)
+}
+
+// Spawner starts a goroutine under the lock; the spawn itself does not
+// block, and the goroutine's IO happens after Lock is no longer relevant
+// to it.
+type Spawner struct {
+	mu   sync.Mutex
+	path string
+	done chan error
+}
+
+// Kick spawns but does not block under mu.
+func (s *Spawner) Kick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.done <- os.WriteFile(s.path, nil, 0o644)
+	}()
+}

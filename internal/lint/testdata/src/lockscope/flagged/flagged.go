@@ -1,0 +1,77 @@
+// Package flagged violates the lockscope invariant: mutexes held across
+// blocking calls, both directly and through helper chains the analyzer must
+// see through interprocedurally.
+package flagged
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+// Store holds a mutex across file IO.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	ch   chan int
+}
+
+// SaveDirect blocks on IO with the lock held via defer.
+func (s *Store) SaveDirect(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(s.path, data, 0o644) // want "call to os.WriteFile"
+}
+
+// persist is a helper two hops from the syscall.
+func (s *Store) persist(data []byte) error {
+	return s.write(data)
+}
+
+func (s *Store) write(data []byte) error {
+	return os.WriteFile(s.path, data, 0o644)
+}
+
+// SaveIndirect blocks on IO through a helper chain.
+func (s *Store) SaveIndirect(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persist(data) // want "while s.mu is held"
+}
+
+// Notify performs a channel send under the lock.
+func (s *Store) Notify(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// Fetch holds an RWMutex read lock across an HTTP round trip.
+type Fetch struct {
+	mu  sync.RWMutex
+	url string
+}
+
+// Get blocks on the network with the read lock held.
+func (f *Fetch) Get(c *http.Client) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	resp, err := c.Get(f.url) // want "while f.mu is held"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close() // want "interface method Close"
+}
+
+// Embedded holds an embedded mutex across a blocking receive.
+type Embedded struct {
+	sync.Mutex
+	done chan struct{}
+}
+
+// WaitDone receives under the embedded lock.
+func (e *Embedded) WaitDone() {
+	e.Lock()
+	<-e.done // want "channel receive while e is held"
+	e.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package clean exercises the WaitGroup shapes the analyzer must accept:
+// Add before spawn, a goroutine-local WaitGroup fan-out, and Wait with no
+// lock held.
+package clean
+
+import "sync"
+
+// FanOut adds before each spawn — the happens-before edge Wait needs.
+func FanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// Nested owns a WaitGroup inside the goroutine: its Add/Wait pair is local,
+// so the outer Wait races nothing.
+func Nested(stages [][]func()) {
+	var outer sync.WaitGroup
+	for _, stage := range stages {
+		stage := stage
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			var inner sync.WaitGroup
+			for _, f := range stage {
+				f := f
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					f()
+				}()
+			}
+			inner.Wait()
+		}()
+	}
+	outer.Wait()
+}
+
+// Sweep copies under the lock, releases, then waits.
+type Sweep struct {
+	mu   sync.Mutex
+	done sync.WaitGroup
+	work []func()
+}
+
+// Run waits with no lock held.
+func (s *Sweep) Run() {
+	s.mu.Lock()
+	jobs := append([]func(){}, s.work...)
+	s.mu.Unlock()
+	for _, f := range jobs {
+		f := f
+		s.done.Add(1)
+		go func() {
+			defer s.done.Done()
+			f()
+		}()
+	}
+	s.done.Wait()
+}

@@ -1,0 +1,49 @@
+// Package flagged violates the waitgroup contracts: Add racing Wait from
+// inside the spawned goroutine, and Wait under a held lock.
+package flagged
+
+import "sync"
+
+// FanOut adds from inside the goroutine: Wait can observe zero and return
+// before the work registers.
+func FanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		f := f
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine"
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool waits while holding its own lock; workers needing the lock deadlock.
+type Pool struct {
+	mu      sync.Mutex
+	pending sync.WaitGroup
+}
+
+// Flush deadlocks against workers that need mu.
+func (p *Pool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending.Wait() // want "wg.Wait while p.mu is held"
+}
+
+// FieldAdd spawns a method that adds to a shared field WaitGroup.
+type FieldAdd struct {
+	wg sync.WaitGroup
+}
+
+func (f *FieldAdd) work() {
+	f.wg.Add(1) // want "wg.Add inside the spawned goroutine"
+	defer f.wg.Done()
+}
+
+// Go spawns work, whose Add races this Wait.
+func (f *FieldAdd) Go() {
+	go f.work()
+	f.wg.Wait()
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewWaitGroup returns the waitgroup analyzer, which catches the two
+// sync.WaitGroup misuses that produce intermittent rather than
+// deterministic failures:
+//
+//  1. wg.Add called inside the spawned goroutine itself. Add must
+//     happen-before Wait; when the goroutine does its own Add, Wait can
+//     observe a zero counter and return before the work even starts. A
+//     WaitGroup declared inside the goroutine (a local fan-out) is exempt.
+//  2. wg.Wait called while a mutex is held: every worker that needs the
+//     lock to finish now deadlocks against the waiter.
+func NewWaitGroup() *Analyzer {
+	return &Analyzer{
+		Name: "waitgroup",
+		Doc:  "wg.Add inside the spawned goroutine, or wg.Wait under a held lock",
+		Run:  runWaitGroup,
+	}
+}
+
+func runWaitGroup(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	// Rule 1: Add inside the goroutine it accounts for.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			target, ok := pass.Graph.SpawnTarget(gs)
+			if !ok || target.Pkg != pass.Pkg.Path() {
+				// A cross-package spawn target's AST belongs to another
+				// pass's type info; its own package is responsible for it.
+				return true
+			}
+			body := target.Body
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := pass.Graph.StaticCallee(call)
+				if !ok || id != "(*sync.WaitGroup).Add" {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if obj := rootObject(pass, sel.X); obj != nil &&
+					obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+					return true // WaitGroup owned by this goroutine
+				}
+				pass.Reportf(call.Pos(),
+					"wg.Add inside the spawned goroutine; Add must happen-before Wait — move it next to the go statement")
+				return true
+			})
+			return true
+		})
+	}
+	// Rule 2: Wait under a held lock.
+	for _, r := range mutexRegions(pass) {
+		r.nodes(func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if id, ok := pass.Graph.StaticCallee(call); ok && id == "(*sync.WaitGroup).Wait" {
+				pass.Reportf(call.Pos(),
+					"wg.Wait while %s is held; workers that need the lock will deadlock", r.recv)
+			}
+		})
+	}
+}
+
+// rootObject resolves the leftmost identifier of a selector/index chain to
+// its object, e.g. `s.wg` -> the object for `s`, `wg` -> `wg`.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -122,7 +123,7 @@ func TestLoadgenBatchMode(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	rep, err := Loadgen(LoadgenOptions{
+	rep, err := Loadgen(context.Background(), LoadgenOptions{
 		URL:      srv.URL,
 		Duration: 300 * time.Millisecond,
 		Workers:  4,

@@ -252,7 +252,7 @@ func TestLoadgenRetriesTransient(t *testing.T) {
 	}))
 	defer flaky.Close()
 
-	rep, err := Loadgen(LoadgenOptions{
+	rep, err := Loadgen(context.Background(), LoadgenOptions{
 		URL:       flaky.URL,
 		Duration:  200 * time.Millisecond,
 		Workers:   2,

@@ -7,6 +7,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -155,8 +156,10 @@ func transientStatus(code int) bool {
 // Loadgen runs the load generator against a live server and returns the
 // aggregated report. Transport or non-200 responses count as errors; the
 // first of them is also returned as a sample so smoke tests fail loudly
-// rather than reporting a run that was 100% errors.
-func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
+// rather than reporting a run that was 100% errors. ctx cancellation stops
+// the workers at their next request boundary and is threaded into every
+// outbound request, so an aborted run leaves nothing in flight.
+func Loadgen(ctx context.Context, opts LoadgenOptions) (LoadgenReport, error) {
 	opts.defaults()
 	client := &http.Client{
 		Transport: &http.Transport{
@@ -186,7 +189,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 					Msize: opts.Msizes[rng.Intn(len(opts.Msizes))],
 				}
 			}
-			for seq := 0; time.Now().Before(deadline); seq++ {
+			for seq := 0; ctx.Err() == nil && time.Now().Before(deadline); seq++ {
 				// Propagate a worker-scoped request id so every audit line
 				// and trace of this run points back at its generator.
 				reqID := fmt.Sprintf("lg%d-w%d-%d", opts.Seed, wi, seq)
@@ -202,7 +205,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 					}
 					op = func() error {
 						var err error
-						cached, fallbacks, err = doBatch(client, base, reqID, breq)
+						cached, fallbacks, err = doBatch(ctx, client, base, reqID, breq)
 						return err
 					}
 				} else {
@@ -211,7 +214,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 					url := fmt.Sprintf("%s/v1/select?model=%s&nodes=%d&ppn=%d&msize=%d",
 						base, opts.Model, in.Nodes, in.PPN, in.Msize)
 					op = func() error {
-						hit, fb, err := doSelect(client, url, reqID)
+						hit, fb, err := doSelect(ctx, client, url, reqID)
 						cached, fallbacks = 0, 0
 						if hit {
 							cached = 1
@@ -283,7 +286,7 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	if len(all) > 0 {
 		rep.LatencyMaxUs = all[len(all)-1] * 1e6
 	}
-	rep.Fleet = fetchFleetStatus(client, targets[0])
+	rep.Fleet = fetchFleetStatus(ctx, client, targets[0])
 	if p := firstErr.Load(); p != nil {
 		return rep, fmt.Errorf("serve: loadgen saw %d errors, first: %w", rep.Errors, *p)
 	}
@@ -292,8 +295,12 @@ func Loadgen(opts LoadgenOptions) (LoadgenReport, error) {
 
 // fetchFleetStatus embeds the router's own accounting into the report when
 // the first target is a fleet router; replicas (404 here) stay unadorned.
-func fetchFleetStatus(client *http.Client, base string) json.RawMessage {
-	resp, err := client.Get(base + "/fleet/status")
+func fetchFleetStatus(ctx context.Context, client *http.Client, base string) json.RawMessage {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/fleet/status", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil
 	}
@@ -311,8 +318,8 @@ func fetchFleetStatus(client *http.Client, base string) json.RawMessage {
 // doSelect issues one /v1/select and reports whether the answer was cached
 // and whether it was a fallback. Transport failures and retryable statuses
 // come back wrapped as transientErr.
-func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+func doSelect(ctx context.Context, client *http.Client, url, reqID string) (cached, fallback bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return false, false, err
 	}
@@ -345,12 +352,12 @@ func doSelect(client *http.Client, url, reqID string) (cached, fallback bool, er
 // counts as a request error: the pool only draws valid instances, so an
 // entry-level failure means the server mishandled the batch. Transport
 // failures and retryable statuses come back wrapped as transientErr.
-func doBatch(client *http.Client, baseURL, reqID string, req BatchRequest) (cached, fallbacks int64, err error) {
+func doBatch(ctx context.Context, client *http.Client, baseURL, reqID string, req BatchRequest) (cached, fallbacks int64, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, 0, err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/batch", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -380,7 +381,7 @@ func TestLoadgen(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	rep, err := Loadgen(LoadgenOptions{
+	rep, err := Loadgen(context.Background(), LoadgenOptions{
 		URL:      srv.URL,
 		Duration: 300 * time.Millisecond,
 		Workers:  4,
@@ -413,5 +414,38 @@ func TestLoadgen(t *testing.T) {
 	}
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadgenCancelledContext is the regression test for context threading:
+// a cancelled context must stop the workers at the next request boundary (a
+// pre-cancelled one issues no requests at all) instead of running out the
+// full configured duration with orphaned in-flight requests.
+func TestLoadgenCancelledContext(t *testing.T) {
+	_, knn, _ := testModels(t)
+	s := testServer(t, knn)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := Loadgen(ctx, LoadgenOptions{
+		URL:      srv.URL,
+		Duration: 30 * time.Second, // must NOT be waited out
+		Workers:  4,
+		Seed:     42,
+		Nodes:    []int{2, 4, 6},
+		PPNs:     []int{1, 4},
+		Msizes:   []int64{16, 1024},
+	})
+	if err != nil {
+		t.Fatalf("cancelled loadgen returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled loadgen ran for %s; cancellation not honored", elapsed)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("pre-cancelled run issued %d requests, want 0", rep.Requests)
 	}
 }

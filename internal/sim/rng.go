@@ -15,6 +15,14 @@ type RNG struct {
 // NewRNG returns an RNG seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// StubRNG returns a fresh RNG seeded with a fixed constant. It exists as
+// the mechanical target of `mpicollvet -fix` for global math/rand call
+// sites: the rewrite keeps the program compiling and makes the draw
+// deterministic, but every StubRNG call starts the same stream. Treat any
+// call as a TODO — thread a properly derived seed (sim.Seed) through the
+// caller and replace the stub with a long-lived NewRNG instance.
+func StubRNG() *RNG { return NewRNG(Seed(0x57AB)) }
+
 // Uint64 returns the next pseudo-random 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15
