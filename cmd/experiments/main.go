@@ -32,6 +32,7 @@ import (
 // expCtx carries shared lazily-loaded state across experiments.
 type expCtx struct {
 	cacheDir string
+	outDir   string
 	scale    dataset.Scale
 	learners []string
 	log      *obs.Logger
@@ -145,6 +146,7 @@ func experimentsList() []experiment {
 		{"crossval", "K-fold cross-validation by node count (SecV)", runCrossVal},
 		{"placement", "Block vs cyclic rank placement changes the best algorithm (SecI)", runPlacement},
 		{"robustness", "Speedup of predicted vs default under increasing fault intensity", runRobustness},
+		{"drift_recovery", "Online retraining loop recovers from a mid-run machine shift (BENCH_retrain.json)", runDriftRecovery},
 	}
 }
 
@@ -184,6 +186,7 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := newCtx(*cacheFlag, dataset.Scale(*scaleFlag), []string{"knn", "gam", "xgboost"}, log)
+	ctx.outDir = *outFlag
 
 	failed := 0
 	for _, e := range all {

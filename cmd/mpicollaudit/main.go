@@ -5,17 +5,28 @@
 //
 // All three reports are byte-stable for a given log, so CI can diff them.
 //
+// With -follow, the command instead tails the log like `tail -f`: each
+// record is re-emitted as one JSON line the moment it is appended, across
+// rotations, until interrupted — the interactive view of the same streaming
+// reader the online retraining loop runs on.
+//
 // Usage:
 //
 //	mpicollaudit -log audit.jsonl -summary
 //	mpicollaudit -log audit.jsonl -drift
 //	mpicollaudit -log audit.jsonl -replay -reps 3 -out replay.txt
+//	mpicollaudit -log audit.jsonl -follow
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mpicollpred/internal/audit"
 )
@@ -26,13 +37,22 @@ func main() {
 		summary = flag.Bool("summary", false, "print selection distributions, cache and fallback breakdowns")
 		drift   = flag.Bool("drift", false, "replay the log through the serving drift monitors")
 		replay  = flag.Bool("replay", false, "re-measure unique decisions in the simulator (observed vs predicted)")
+		follow  = flag.Bool("follow", false, "tail the log, printing records as they are appended (Ctrl-C stops)")
 		reps    = flag.Int("reps", 2, "replay: simulated repetitions per measurement")
 		maxInst = flag.Int("max-instances", 64, "replay: cap on unique decisions measured")
 		out     = flag.String("out", "", "write the report here instead of stdout")
 	)
 	flag.Parse()
+	if *follow {
+		if *summary || *drift || *replay {
+			fmt.Fprintln(os.Stderr, "mpicollaudit: -follow streams raw records and excludes the batch reports")
+			os.Exit(2)
+		}
+		runFollow(*logPath)
+		return
+	}
 	if !*summary && !*drift && !*replay {
-		fmt.Fprintln(os.Stderr, "mpicollaudit: pick at least one of -summary, -drift, -replay")
+		fmt.Fprintln(os.Stderr, "mpicollaudit: pick at least one of -summary, -drift, -replay, -follow")
 		os.Exit(2)
 	}
 
@@ -67,6 +87,21 @@ func main() {
 	}
 	fail(os.WriteFile(*out, []byte(report), 0o644))
 	fmt.Fprintf(os.Stderr, "mpicollaudit: report -> %s\n", *out)
+}
+
+// runFollow tails the audit log until SIGINT/SIGTERM, emitting one JSON
+// line per record. It survives rotations and waits for the file to appear,
+// so it can be started before the server.
+func runFollow(path string) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	enc := json.NewEncoder(os.Stdout)
+	err := audit.Follow(ctx, path, audit.FollowOptions{WaitForFile: true}, func(rec audit.Record) error {
+		return enc.Encode(rec)
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fail(err)
+	}
 }
 
 func fail(err error) {

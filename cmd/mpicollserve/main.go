@@ -14,6 +14,14 @@
 //   - -loadgen is the load-generation client used by CI to benchmark a
 //     server — or, with -urls, a whole fleet — and write BENCH_serve.json.
 //
+// With -retrain (requires -audit), the server additionally runs the online
+// retraining loop of internal/retrain: it tails its own audit log, replays
+// served decisions through the simulator (optionally perturbed by a
+// -retrain-drift fault plan), and on sustained observed-vs-predicted error
+// retrains the drifted model and deploys the candidate — in place, or via
+// the router's canary rollout when -retrain-router is set. The loop's state
+// machine is served at /v1/retrain/status.
+//
 // Usage:
 //
 //	mpicollserve -models d1-gam.snap,d2-knn.snap -addr :8080
@@ -23,6 +31,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -31,13 +40,16 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"mpicollpred/internal/audit"
+	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/fault"
 	"mpicollpred/internal/fleet"
 	"mpicollpred/internal/obs"
+	"mpicollpred/internal/retrain"
 	"mpicollpred/internal/serve"
 )
 
@@ -57,6 +69,17 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 0, "server: pause between flipping /readyz and closing the listener on SIGTERM, giving routers time to notice")
 		verbose    = flag.Bool("v", false, "verbose (debug) logging")
 		quiet      = flag.Bool("quiet", false, "suppress informational logging")
+
+		retrainOn    = flag.Bool("retrain", false, "run the online retraining loop over the -audit log (observe -> detect drift -> retrain -> deploy)")
+		retrainDrift = flag.String("retrain-drift", "", `retrain: fault plan perturbing observations, e.g. "straggler:node=0,factor=4" (simulated machine drift)`)
+		retrainRtr   = flag.String("retrain-router", "", "retrain: fleet router base URL; candidates deploy via canary rollout instead of in-place reload")
+		retrainDir   = flag.String("retrain-dir", "results/retrain", "retrain: candidate snapshot output directory")
+		retrainCache = flag.String("retrain-cache", "results/cache", "retrain: dataset cache directory")
+		retrainScale = flag.String("retrain-scale", "smoke", "retrain: dataset scale for observation and refit grids")
+		retrainSLog  = flag.String("retrain-status-log", "", "retrain: JSONL state-transition log (empty disables)")
+		retrainTol   = flag.Float64("retrain-tolerance", 0, "retrain: |relative error| above this is an error event (0 = default)")
+		retrainHyst  = flag.Int("retrain-hysteresis", 0, "retrain: consecutive breach observations that declare drift (0 = default)")
+		retrainWarm  = flag.Int("retrain-min-events", 0, "retrain: detector warm-up observation count (0 = default)")
 
 		router    = flag.Bool("router", false, "run as the fleet router fronting -replicas instead of a server")
 		replicas  = flag.String("replicas", "", "router: comma-separated replica base URLs")
@@ -79,6 +102,10 @@ func main() {
 		nodesCSV = flag.String("nodes", "", "loadgen: comma-separated node-count pool overriding the default")
 		ppnsCSV  = flag.String("ppns", "", "loadgen: comma-separated ppn pool overriding the default")
 		msizes   = flag.String("msizes", "", "loadgen: comma-separated message-size pool overriding the default")
+		shiftAt  = flag.Int64("shift-at", 0, "loadgen: switch to the -shift-* instance pools after this many requests (0 disables; simulates a workload shift)")
+		shiftN   = flag.String("shift-nodes", "", "loadgen: node pool after the shift (default: the pre-shift pool)")
+		shiftP   = flag.String("shift-ppns", "", "loadgen: ppn pool after the shift (default: the pre-shift pool)")
+		shiftM   = flag.String("shift-msizes", "", "loadgen: message-size pool after the shift (default: the pre-shift pool)")
 		out      = flag.String("out", "BENCH_serve.json", "loadgen: report file")
 	)
 	flag.Parse()
@@ -90,7 +117,9 @@ func main() {
 			Duration: *duration, Workers: *workers, Seed: *seed, Batch: *batch,
 			Retries: *retries, RetryBase: *retryBase,
 			Nodes: parseIntPool(*nodesCSV, "-nodes"), PPNs: parseIntPool(*ppnsCSV, "-ppns"),
-			Msizes: parseInt64Pool(*msizes, "-msizes"),
+			Msizes:  parseInt64Pool(*msizes, "-msizes"),
+			ShiftAt: *shiftAt, ShiftNodes: parseIntPool(*shiftN, "-shift-nodes"),
+			ShiftPPNs: parseIntPool(*shiftP, "-shift-ppns"), ShiftMsizes: parseInt64Pool(*shiftM, "-shift-msizes"),
 		}, *out)
 		return
 	}
@@ -146,6 +175,21 @@ func main() {
 	fail(err)
 	log.Infof("serving models %v (generation %d)", srv.Registry().Names(), srv.Registry().Gen())
 
+	stopRetrain := func() {}
+	if *retrainOn {
+		if *auditPath == "" {
+			fail(fmt.Errorf("-retrain tails the selection audit log; enable it with -audit"))
+		}
+		stopRetrain = startRetrain(log, srv, retrainConfig{
+			auditPath: *auditPath, drift: *retrainDrift, router: *retrainRtr,
+			outDir: *retrainDir, cacheDir: *retrainCache, scale: *retrainScale,
+			statusLog: *retrainSLog,
+			detector: retrain.DetectorOptions{
+				Tolerance: *retrainTol, Hysteresis: *retrainHyst, MinEvents: uint64(*retrainWarm),
+			},
+		})
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	fail(err)
 	log.Infof("listening on http://%s", l.Addr())
@@ -166,6 +210,7 @@ func main() {
 				continue
 			}
 			log.Infof("%s: draining (readyz -> 503) and shutting down", sig)
+			stopRetrain()
 			srv.BeginDrain()
 			if *drainGrace > 0 {
 				time.Sleep(*drainGrace)
@@ -180,12 +225,82 @@ func main() {
 	}()
 
 	fail(srv.Serve(l))
+	stopRetrain()
 	if auditLog != nil {
 		if err := auditLog.Close(); err != nil {
 			log.Errorf("closing audit log: %v", err)
 		}
 	}
 	log.Infof("bye")
+}
+
+// retrainConfig groups the -retrain-* flag values.
+type retrainConfig struct {
+	auditPath, drift, router string
+	outDir, cacheDir, scale  string
+	statusLog                string
+	detector                 retrain.DetectorOptions
+}
+
+// startRetrain wires the online retraining loop to the serving process: the
+// server is the loop's reloader (and, with -retrain-router, the rollout
+// deployer takes over), and its /v1/retrain/status endpoint reads the
+// loop's published status. The returned stop function cancels the loop and
+// waits for it to exit; it is safe to call more than once.
+func startRetrain(log *obs.Logger, srv *serve.Server, cfg retrainConfig) func() {
+	opts := retrain.Options{
+		AuditPath: cfg.auditPath,
+		Reloader:  srv,
+		OutDir:    cfg.outDir,
+		CacheDir:  cfg.cacheDir,
+		Scale:     dataset.Scale(cfg.scale),
+		Detector:  cfg.detector,
+	}
+	if cfg.drift != "" {
+		plan, err := fault.Parse(cfg.drift)
+		fail(err)
+		opts.Drift = plan
+		log.Infof("retrain: observing through drift plan %q", cfg.drift)
+	}
+	if cfg.router != "" {
+		opts.Deployer = &retrain.RolloutDeployer{RouterURL: strings.TrimRight(cfg.router, "/")}
+		log.Infof("retrain: deploying candidates via canary rollout at %s", cfg.router)
+	}
+	var statusFile *os.File
+	if cfg.statusLog != "" {
+		f, err := os.OpenFile(cfg.statusLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fail(err)
+		statusFile = f
+		opts.StatusLog = f
+	}
+	fail(os.MkdirAll(cfg.outDir, 0o755))
+
+	loop, err := retrain.New(opts)
+	fail(err)
+	srv.SetRetrainStatus(func() any { return loop.Status() })
+	log.Infof("retrain: tailing %s (candidates -> %s)", cfg.auditPath, cfg.outDir)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := loop.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			log.Errorf("retrain: loop stopped: %v", err)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+			if statusFile != nil {
+				if err := statusFile.Close(); err != nil {
+					log.Errorf("retrain: closing status log: %v", err)
+				}
+			}
+			log.Infof("retrain: loop stopped")
+		})
+	}
 }
 
 // runRouter fronts the replica fleet until SIGINT/SIGTERM.

@@ -21,6 +21,16 @@
 //	mpicolltune -dataset d1,d2 -learner knn,gam,xgboost -save models/
 //	mpicolltune -dataset d4 -learner gam -fitworkers 4 -fitbench BENCH_train.json
 //	mpicolltune -load models/d1-gam.snap -nodes 27 -ppn 16 -msize 65536
+//
+// -retrain-from runs one offline pass of the internal/retrain pipeline: it
+// ingests a finished selection audit log, re-measures the served instance
+// cells (optionally under a -retrain-drift fault plan), and refits the
+// affected configurations of the snapshot into a versioned candidate — the
+// same code path as the `mpicollserve -retrain` daemon, so the candidate is
+// byte-identical to what the online loop would write for the same log:
+//
+//	mpicolltune -retrain-from models/d1-gam.snap -retrain-log audit.jsonl \
+//	    -retrain-out models -retrain-drift straggler:node=0,factor=4
 package main
 
 import (
@@ -38,7 +48,9 @@ import (
 	"mpicollpred/internal/core"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/eval"
+	"mpicollpred/internal/fault"
 	"mpicollpred/internal/obs"
+	"mpicollpred/internal/retrain"
 )
 
 // unit is one (dataset, learner) cell of the tuning matrix.
@@ -70,15 +82,30 @@ func main() {
 		save     = flag.String("save", "", "write trained models here (a file for a single model, a directory for a matrix)")
 		load     = flag.String("load", "", "load a model snapshot instead of training (skips dataset generation)")
 		workers  = flag.Int("fitworkers", 0, "fit-worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		fitbench = flag.String("fitbench", "", "train serially and in parallel, verify bit-identity, write a speedup report here")
-		metrics  = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
-		verbose  = flag.Bool("v", false, "verbose (debug) logging")
-		quiet    = flag.Bool("quiet", false, "suppress informational logging")
+
+		retrainFrom  = flag.String("retrain-from", "", "offline retrain: base snapshot to retrain from an audit log")
+		retrainLog   = flag.String("retrain-log", "", "offline retrain: finished audit log to ingest (required with -retrain-from)")
+		retrainOut   = flag.String("retrain-out", "results/retrain", "offline retrain: candidate snapshot output directory")
+		retrainDrift = flag.String("retrain-drift", "", "offline retrain: fault plan perturbing the re-measurements")
+		retrainCells = flag.Int("retrain-cells", 0, "offline retrain: cap on distinct instance cells swept (0 = default)")
+		fitbench     = flag.String("fitbench", "", "train serially and in parallel, verify bit-identity, write a speedup report here")
+		metrics      = flag.String("metrics", "", "write a metrics-registry snapshot to this file (.json for JSON)")
+		verbose      = flag.Bool("v", false, "verbose (debug) logging")
+		quiet        = flag.Bool("quiet", false, "suppress informational logging")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, obs.FlagLevel(*verbose, *quiet))
 	core.SetFitWorkers(*workers)
 
+	if *retrainFrom != "" {
+		if *retrainLog == "" {
+			fmt.Fprintln(os.Stderr, "mpicolltune: -retrain-from needs the audit log via -retrain-log")
+			os.Exit(2)
+		}
+		runRetrainOnce(log, *retrainFrom, *retrainLog, *retrainOut, *retrainDrift,
+			*cache, dataset.Scale(*scale), *retrainCells)
+		return
+	}
 	if *load != "" && *save != "" {
 		fmt.Fprintln(os.Stderr, "mpicolltune: -save and -load are mutually exclusive")
 		os.Exit(2)
@@ -167,6 +194,31 @@ func main() {
 		fmt.Printf("  %d. alg %-2d config %-3d %-32s predicted %.6gs\n",
 			i+1, p.AlgID, p.ConfigID, p.Label, p.Predicted)
 	}
+}
+
+// runRetrainOnce is the -retrain-from path: one offline observe→refit pass
+// over a finished audit log, printing the candidate report as JSON.
+func runRetrainOnce(log *obs.Logger, snapPath, auditPath, outDir, driftSpec, cache string, scale dataset.Scale, maxCells int) {
+	var plan *fault.Plan
+	if driftSpec != "" {
+		p, err := fault.Parse(driftSpec)
+		fail(err)
+		plan = p
+		log.Infof("retrain: re-measuring under drift plan %q", driftSpec)
+	}
+	fail(os.MkdirAll(outDir, 0o755))
+	rep, err := retrain.Once(retrain.OnceOptions{
+		SnapshotPath: snapPath, AuditPath: auditPath, OutDir: outDir,
+		CacheDir: cache, Scale: scale, Drift: plan, MaxCells: maxCells,
+	})
+	fail(err)
+	c := rep.Candidate
+	log.Infof("retrained %s from %d audit records (%d with predictions): %d cells re-measured, %d samples upserted, %d configurations refit",
+		rep.Model, rep.Records, rep.Ingested, c.Cells, c.Samples, c.RefitConfigs)
+	log.Infof("candidate -> %s", c.Path)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	fmt.Println(string(data))
 }
 
 // buildUnits loads every requested dataset once and expands the

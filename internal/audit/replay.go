@@ -54,8 +54,11 @@ type ReplayReport struct {
 }
 
 // replaySeedSalt keys replay measurements apart from every other consumer
-// of the simulator's seed space.
-const replaySeedSalt = 0xAD170
+// of the simulator's seed space; it is the audit-replay domain salt from
+// the simulator's seed-domain registry (the numeric value predates the
+// registry and is pinned there, so existing replay reports stay
+// byte-identical).
+const replaySeedSalt = sim.DomainAuditReplay
 
 // replayKey identifies one unique served decision.
 type replayKey struct {

@@ -1,0 +1,54 @@
+// Online observation ingestion: the retraining loop feeds re-measured
+// samples back into a dataset through Upsert, which holds them to the same
+// per-row validation as a loaded cache (a bad observation is rejected, never
+// silently trained on) and replaces the existing grid cell in place — the
+// machine changed, so the new measurement supersedes the old one rather
+// than duplicating its key.
+
+package dataset
+
+import (
+	"fmt"
+
+	"mpicollpred/internal/obs"
+)
+
+// ErrBadSample marks an observation that failed row validation in Upsert.
+var ErrBadSample = fmt.Errorf("dataset: observation failed validation")
+
+// Upsert validates one observed sample and merges it into the dataset:
+// an existing (config, nodes, ppn, msize) cell is replaced in place
+// (preserving sample order, so the dataset hash stays a pure function of
+// the cell contents), a new cell is appended. The boolean reports whether
+// an existing cell was replaced. A sample that fails the per-row checks is
+// rejected with ErrBadSample and counted in the
+// dataset_upsert_rejected_total metric — the same quarantine-on-ingest
+// stance the CSV cache loader takes.
+func (d *Dataset) Upsert(s Sample) (bool, error) {
+	if reason := checkSample(s); reason != "" {
+		obs.Default.Counter("dataset_upsert_rejected_total",
+			obs.Labels{"dataset": d.Spec.Name}).Inc()
+		return false, fmt.Errorf("%w: %s", ErrBadSample, reason)
+	}
+	if d.index == nil {
+		d.buildIndex()
+	}
+	key := instKey{s.ConfigID, s.Nodes, s.PPN, s.Msize}
+	if _, ok := d.index[key]; ok {
+		for i := range d.Samples {
+			old := &d.Samples[i]
+			if old.ConfigID == s.ConfigID && old.Nodes == s.Nodes &&
+				old.PPN == s.PPN && old.Msize == s.Msize {
+				d.Consumed += s.Consumed - old.Consumed
+				*old = s
+				break
+			}
+		}
+		d.index[key] = s.Time
+		return true, nil
+	}
+	d.Samples = append(d.Samples, s)
+	d.Consumed += s.Consumed
+	d.index[key] = s.Time
+	return false, nil
+}

@@ -1,0 +1,53 @@
+// Rollout client: the thin HTTP shim other subsystems (the online
+// retraining loop's deployer, scripts) use to drive a router's canary
+// rollout without reimplementing the wire shapes. It lives in fleet so the
+// request/status types stay single-sourced with the handler.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// RequestRollout POSTs a canary rollout to routerURL's /fleet/rollout and
+// returns the terminal status the state machine reports (promoted,
+// rolled_back, or failed). The call is synchronous — the router's handler
+// runs the full probe/compare/promote sequence before answering. A nil
+// client uses http.DefaultClient; cancel via ctx.
+func RequestRollout(ctx context.Context, client *http.Client, routerURL string, req RolloutRequest) (RolloutStatus, error) {
+	var st RolloutStatus
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, fmt.Errorf("fleet: encoding rollout request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		routerURL+"/fleet/rollout", bytes.NewReader(body))
+	if err != nil {
+		return st, fmt.Errorf("fleet: rollout request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return st, fmt.Errorf("fleet: rollout call: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return st, fmt.Errorf("fleet: reading rollout response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("fleet: rollout returned %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, fmt.Errorf("fleet: decoding rollout status: %w", err)
+	}
+	return st, nil
+}

@@ -6,9 +6,12 @@ package lint
 // is on the list so its one timestamp seam (audit.realClock) stays an
 // explicitly audited ignore directive rather than an unreviewed time.Now —
 // everything else in the package runs on the Logger's injectable clock.
+// internal/retrain joined with PR 9: the retraining loop's candidates must
+// be byte-identical for a given audit log, so its only wall-clock read is
+// the audited status-log timestamp seam (retrain.realClock).
 var DeterministicPackages = []string{
 	"internal/sim", "internal/netmodel", "internal/fault", "internal/coll",
-	"internal/audit",
+	"internal/audit", "internal/retrain",
 }
 
 // PanicAllowedPackages are the import-path fragments whose panics a

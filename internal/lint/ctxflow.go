@@ -10,7 +10,7 @@ import (
 // probe IO from client cancellation, which is exactly how the PR-7 fleet
 // failover guarantees break under load.
 var CtxPropagationPackages = []string{
-	"internal/serve", "internal/fleet",
+	"internal/serve", "internal/fleet", "internal/retrain",
 }
 
 // NewCtxFlow returns the ctxflow analyzer. Two rules:

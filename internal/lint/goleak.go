@@ -9,7 +9,7 @@ import (
 // goroutines must have a shutdown path: the serve/fleet processes stay up
 // for days, so a goroutine with no escape is a leak, not a detail.
 var GoroutineOwnedPackages = []string{
-	"internal/serve", "internal/fleet", "internal/core",
+	"internal/serve", "internal/fleet", "internal/core", "internal/retrain",
 }
 
 // NewGoLeak returns the goleak analyzer: inside the restricted (long-lived

@@ -1,0 +1,102 @@
+// Deployment backends for retrained candidates. Single-replica installs
+// reload the serving process in place through the Reloader seam (the old
+// generation keeps serving if the candidate fails to load, and in-flight
+// requests never see the swap). Fleet installs hand the candidate to the
+// router's canary rollout, which probes it against a baseline replica and
+// auto-rolls-back on divergence or monitor breach — the loop only counts a
+// deploy successful when the state machine ends at "promoted".
+
+package retrain
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"mpicollpred/internal/fleet"
+)
+
+// Reloader is the serving-side seam the loop deploys through in
+// single-replica mode; *serve.Server satisfies it. Keeping it an interface
+// here means retrain never imports the serving layer (the server reaches
+// the loop only through its status callback, so the dependency stays
+// one-directional).
+type Reloader interface {
+	ReloadPaths(paths []string) error
+	SnapshotPaths() []string
+}
+
+// Deployer pushes a candidate into serving. current is the serving snapshot
+// path set with the candidate already substituted for the model it
+// replaces. Deploy returns a short outcome description ("reloaded",
+// "promoted") or an error when the candidate did not take.
+type Deployer interface {
+	Deploy(ctx context.Context, cand *Candidate, current []string) (string, error)
+}
+
+// ReloadDeployer swaps the candidate into a single serving process.
+type ReloadDeployer struct {
+	Target Reloader
+}
+
+// Deploy atomically reloads the target onto the substituted path set.
+func (d *ReloadDeployer) Deploy(_ context.Context, _ *Candidate, current []string) (string, error) {
+	if err := d.Target.ReloadPaths(current); err != nil {
+		return "", fmt.Errorf("retrain: reload deploy: %w", err)
+	}
+	return "reloaded", nil
+}
+
+// RolloutDeployer drives a fleet router's canary rollout.
+type RolloutDeployer struct {
+	// RouterURL is the router base URL (e.g. "http://127.0.0.1:18080").
+	RouterURL string
+	// Client is the HTTP client (nil uses http.DefaultClient).
+	Client *http.Client
+	// Probes forwards into the rollout request; zero takes the router's
+	// default.
+	Probes int
+	// MaxDivergence is the canary-vs-baseline selection divergence gate.
+	// Zero defaults to 1.0, not the router's 0.25: the candidate exists
+	// because the baseline's model is wrong on the drifted machine, so
+	// changed selections are the expected outcome — the gates that still
+	// protect the fleet are probe errors and the canary's own monitors.
+	MaxDivergence float64
+	// Nodes/PPNs/Msizes override the probe pool; empty uses the
+	// candidate's observed cells, which are in the training envelope by
+	// construction (the router's out-of-envelope defaults would trip the
+	// canary's fallback monitor and roll back every retrain deploy).
+	Nodes  []int
+	PPNs   []int
+	Msizes []int64
+}
+
+// Deploy posts the substituted path set as a canary rollout and succeeds
+// only when the rollout promotes; a rollback or failure is an error (the
+// fleet keeps serving the previous snapshots either way).
+func (d *RolloutDeployer) Deploy(ctx context.Context, cand *Candidate, current []string) (string, error) {
+	req := fleet.RolloutRequest{
+		Paths: current, Probes: d.Probes, MaxDivergence: d.MaxDivergence,
+		Nodes: d.Nodes, PPNs: d.PPNs, Msizes: d.Msizes,
+	}
+	if req.MaxDivergence <= 0 {
+		req.MaxDivergence = 1.0
+	}
+	if len(req.Nodes) == 0 {
+		req.Nodes = cand.ProbeNodes
+	}
+	if len(req.PPNs) == 0 {
+		req.PPNs = cand.ProbePPNs
+	}
+	if len(req.Msizes) == 0 {
+		req.Msizes = cand.ProbeMsizes
+	}
+	st, err := fleet.RequestRollout(ctx, d.Client, d.RouterURL, req)
+	if err != nil {
+		return "", err
+	}
+	if st.State != fleet.RolloutPromoted {
+		return "", fmt.Errorf("retrain: rollout ended %q: %s", st.State, st.Reason)
+	}
+	return fleet.RolloutPromoted, nil
+}

@@ -1,0 +1,146 @@
+// Drift detection: the loop turns each observed-vs-predicted comparison
+// into a boolean error event (|relative error| above tolerance) and feeds a
+// per-model EWMA rate monitor — the same primitive the serving telemetry
+// uses — plus a hysteresis counter on top: drift is declared only after the
+// monitor has sat at breach for several consecutive observations, so a
+// single outlier measurement can never trigger a retraining cycle.
+
+package retrain
+
+import (
+	"sort"
+
+	"mpicollpred/internal/obs"
+)
+
+// DetectorOptions tunes the per-model drift detector.
+type DetectorOptions struct {
+	// Tolerance is the |relative error| above which one observation counts
+	// as an error event (default 0.5: observed more than ~2x/0.5x off).
+	Tolerance float64
+	// Alpha is the EWMA weight of a new event (default 0.2 — the retrain
+	// loop sees far fewer events than the request path, so it forgets
+	// faster than the serving monitors).
+	Alpha float64
+	// Warn and Breach are EWMA error-rate thresholds (defaults 0.3, 0.5).
+	Warn, Breach float64
+	// MinEvents is the monitor warm-up: below it the level stays ok
+	// (default 8).
+	MinEvents uint64
+	// Hysteresis is how many consecutive observations must sit at breach
+	// before drift is declared (default 4).
+	Hysteresis int
+}
+
+func (o *DetectorOptions) defaults() {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.5
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.2
+	}
+	if o.Warn <= 0 {
+		o.Warn = 0.3
+	}
+	if o.Breach <= 0 {
+		o.Breach = 0.5
+	}
+	if o.MinEvents == 0 {
+		o.MinEvents = 8
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = 4
+	}
+}
+
+// modelState is one served model's detector state. It is guarded by the
+// loop's mutex, not its own.
+type modelState struct {
+	monitor      *obs.RateMonitor
+	breachStreak int
+	observations uint64
+	errorEvents  uint64
+	drifts       uint64
+	// minGen ignores audit records from generations before the last
+	// deploy: they were decided by the replaced model and would re-trigger
+	// drift against the new one.
+	minGen     uint64
+	lastRelErr float64
+}
+
+// detector owns the per-model drift state.
+type detector struct {
+	opts   DetectorOptions
+	models map[string]*modelState
+}
+
+func newDetector(opts DetectorOptions) *detector {
+	opts.defaults()
+	return &detector{opts: opts, models: map[string]*modelState{}}
+}
+
+func (d *detector) state(model string) *modelState {
+	st := d.models[model]
+	if st == nil {
+		st = &modelState{monitor: obs.NewRateMonitor(d.opts.Alpha, d.opts.Warn, d.opts.Breach)}
+		st.monitor.SetMinEvents(d.opts.MinEvents)
+		d.models[model] = st
+	}
+	return st
+}
+
+// observe feeds one comparison and reports whether drift is declared by it:
+// the monitor must be at breach for Hysteresis consecutive observations.
+// Returns false for every observation after the declaring one until reset —
+// a cycle is already running or just failed; re-declaring immediately would
+// hot-loop the retrainer.
+func (d *detector) observe(model string, relErr float64) bool {
+	st := d.state(model)
+	st.observations++
+	st.lastRelErr = relErr
+	event := abs(relErr) > d.opts.Tolerance
+	if event {
+		st.errorEvents++
+	}
+	st.monitor.Observe(event)
+	if st.monitor.Level() == obs.LevelBreach {
+		st.breachStreak++
+	} else {
+		st.breachStreak = 0
+	}
+	if st.breachStreak == d.opts.Hysteresis {
+		st.drifts++
+		return true
+	}
+	return false
+}
+
+// reset re-arms a model's detector after a deploy attempt: a fresh monitor
+// (full warm-up again) and a generation floor below which audit records are
+// ignored as stale.
+func (d *detector) reset(model string, minGen uint64) {
+	st := d.state(model)
+	st.monitor = obs.NewRateMonitor(d.opts.Alpha, d.opts.Warn, d.opts.Breach)
+	st.monitor.SetMinEvents(d.opts.MinEvents)
+	st.breachStreak = 0
+	if minGen > st.minGen {
+		st.minGen = minGen
+	}
+}
+
+// names returns the tracked model names, sorted.
+func (d *detector) names() []string {
+	out := make([]string, 0, len(d.models))
+	for name := range d.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

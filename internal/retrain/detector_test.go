@@ -1,0 +1,104 @@
+package retrain
+
+import "testing"
+
+// TestDetectorSingleOutlierIsNotDrift: one wildly wrong observation in an
+// otherwise healthy stream must never declare drift — the hysteresis and
+// the EWMA both have to agree.
+func TestDetectorSingleOutlierIsNotDrift(t *testing.T) {
+	d := newDetector(DetectorOptions{})
+	for i := 0; i < 100; i++ {
+		relErr := 0.05
+		if i == 50 {
+			relErr = 25.0 // a single 25x outlier mid-stream
+		}
+		if d.observe("m", relErr) {
+			t.Fatalf("drift declared at observation %d from a single outlier", i)
+		}
+	}
+	if st := d.models["m"]; st.drifts != 0 || st.errorEvents != 1 {
+		t.Fatalf("outlier accounting wrong: drifts=%d events=%d", st.drifts, st.errorEvents)
+	}
+}
+
+// TestDetectorSustainedBreachIsDrift: a stream that goes permanently wrong
+// declares drift exactly once (until reset), after warm-up plus hysteresis.
+func TestDetectorSustainedBreachIsDrift(t *testing.T) {
+	d := newDetector(DetectorOptions{MinEvents: 8, Hysteresis: 4})
+	for i := 0; i < 20; i++ {
+		if d.observe("m", 0.02) {
+			t.Fatalf("drift declared on healthy stream at %d", i)
+		}
+	}
+	declaredAt := -1
+	for i := 0; i < 60; i++ {
+		if d.observe("m", -0.8) {
+			if declaredAt >= 0 {
+				t.Fatalf("drift declared twice (at %d and %d) without a reset", declaredAt, i)
+			}
+			declaredAt = i
+		}
+	}
+	if declaredAt < 0 {
+		t.Fatalf("sustained breach never declared drift")
+	}
+	if st := d.models["m"]; st.drifts != 1 {
+		t.Fatalf("drifts=%d after one sustained episode", st.drifts)
+	}
+}
+
+// TestDetectorBreachMustBeConsecutive: a stream that oscillates in and out
+// of breach never satisfies the hysteresis.
+func TestDetectorBreachMustBeConsecutive(t *testing.T) {
+	d := newDetector(DetectorOptions{MinEvents: 4, Hysteresis: 6, Alpha: 0.5})
+	for i := 0; i < 200; i++ {
+		// Alternate hard error and clean observation: the high alpha pulls
+		// the EWMA across the breach line and back every step, so the
+		// breach streak can never reach 6.
+		relErr := 0.0
+		if i%2 == 0 {
+			relErr = 2.0
+		}
+		if d.observe("m", relErr) {
+			t.Fatalf("oscillating stream declared drift at %d", i)
+		}
+	}
+}
+
+// TestDetectorResetRearms: after reset, the warm-up applies again and a new
+// sustained breach declares a second drift.
+func TestDetectorResetRearms(t *testing.T) {
+	d := newDetector(DetectorOptions{MinEvents: 8, Hysteresis: 4})
+	first := -1
+	for i := 0; i < 40 && first < 0; i++ {
+		if d.observe("m", -0.8) {
+			first = i
+		}
+	}
+	if first < 0 {
+		t.Fatalf("first drift never declared")
+	}
+	d.reset("m", 7)
+	if st := d.models["m"]; st.minGen != 7 || st.breachStreak != 0 {
+		t.Fatalf("reset state wrong: minGen=%d streak=%d", st.minGen, st.breachStreak)
+	}
+	// Immediately after reset the monitor is in warm-up: the first few
+	// breach-grade observations must not declare.
+	for i := 0; i < 4; i++ {
+		if d.observe("m", -0.8) {
+			t.Fatalf("drift declared during post-reset warm-up")
+		}
+	}
+	second := false
+	for i := 0; i < 40 && !second; i++ {
+		second = d.observe("m", -0.8)
+	}
+	if !second {
+		t.Fatalf("second sustained breach never declared drift after reset")
+	}
+	// reset never lowers the generation floor.
+	d.reset("m", 3)
+	if st := d.models["m"]; st.minGen != 7 {
+		t.Fatalf("reset lowered minGen to %d", st.minGen)
+	}
+}

@@ -1,0 +1,128 @@
+// The observation inlet: every audited decision is re-measured through the
+// simulator playing the role of the real machine. Installing a fault plan
+// into the measurement runner makes the "machine" drift away from what the
+// served models were trained on — the knob the drift scenario and the CI
+// smoke turn. Measurement seeds come from the retrain domain of the seed
+// registry, so observation streams never collide with benchmarking or
+// audit-replay streams for the same instance.
+
+package retrain
+
+import (
+	"fmt"
+
+	"mpicollpred/internal/audit"
+	"mpicollpred/internal/bench"
+	"mpicollpred/internal/fault"
+	"mpicollpred/internal/machine"
+	"mpicollpred/internal/mpilib"
+	"mpicollpred/internal/sim"
+)
+
+// obsWorld is one resolved (machine, lib, collective) measurement context.
+type obsWorld struct {
+	mach   machine.Machine
+	set    *mpilib.CollectiveSet
+	runner *bench.Runner
+}
+
+// obsKey identifies one measurement; served predictions do not enter it —
+// the observed runtime depends only on what ran where.
+type obsKey struct {
+	mach, lib, coll string
+	nodes, ppn      int
+	msize           int64
+	configID        int
+}
+
+// observerMemoCap bounds the measurement memo. Real tuning traffic repeats
+// a small instance pool, so the memo normally saturates far below the cap;
+// when it does fill, it is cleared wholesale — deterministic given the
+// record order, unlike any usage-based eviction.
+const observerMemoCap = 4096
+
+// observer measures audited decisions in the simulator.
+type observer struct {
+	reps   int
+	plan   *fault.Plan // nil = faithful machine, non-nil = drifted machine
+	worlds map[[3]string]*obsWorld
+	memo   map[obsKey]float64
+	resets uint64
+}
+
+func newObserver(reps int, plan *fault.Plan) *observer {
+	if reps <= 0 {
+		reps = 2
+	}
+	return &observer{reps: reps, plan: plan,
+		worlds: map[[3]string]*obsWorld{}, memo: map[obsKey]float64{}}
+}
+
+// setPlan swaps the fault plan mid-run (the scenario's machine shift). The
+// memo and resolved runners measure the old machine, so both are dropped.
+func (o *observer) setPlan(plan *fault.Plan) {
+	o.plan = plan
+	o.worlds = map[[3]string]*obsWorld{}
+	o.memo = map[obsKey]float64{}
+}
+
+func (o *observer) world(mach, lib, coll string) (*obsWorld, error) {
+	wk := [3]string{mach, lib, coll}
+	if w := o.worlds[wk]; w != nil {
+		return w, nil
+	}
+	m, err := machine.ByName(mach)
+	if err != nil {
+		return nil, fmt.Errorf("retrain: observe machine: %w", err)
+	}
+	l, err := mpilib.ByName(lib)
+	if err != nil {
+		return nil, fmt.Errorf("retrain: observe library: %w", err)
+	}
+	set, err := l.Collective(coll)
+	if err != nil {
+		return nil, fmt.Errorf("retrain: observe collective: %w", err)
+	}
+	bo := bench.DefaultOptions(m.Name)
+	bo.MaxReps = o.reps
+	bo.Faults = o.plan
+	w := &obsWorld{mach: m, set: set, runner: bench.NewRunner(bo)}
+	o.worlds[wk] = w
+	return w, nil
+}
+
+// observe re-measures one audited decision and returns the observed
+// runtime in seconds.
+func (o *observer) observe(rec audit.Record) (float64, error) {
+	k := obsKey{mach: rec.Machine, lib: rec.Lib, coll: rec.Coll,
+		nodes: rec.Nodes, ppn: rec.PPN, msize: rec.Msize, configID: rec.ConfigID}
+	if t, ok := o.memo[k]; ok {
+		return t, nil
+	}
+	w, err := o.world(rec.Machine, rec.Lib, rec.Coll)
+	if err != nil {
+		return 0, err
+	}
+	cfg, err := w.set.Config(rec.ConfigID)
+	if err != nil {
+		return 0, fmt.Errorf("retrain: observe config %d: %w", rec.ConfigID, err)
+	}
+	topo, err := w.mach.Topo(rec.Nodes, rec.PPN)
+	if err != nil {
+		return 0, fmt.Errorf("retrain: observe topology %dx%d: %w", rec.Nodes, rec.PPN, err)
+	}
+	seed := sim.DomainSeed(sim.DomainRetrain,
+		uint64(rec.ConfigID), uint64(rec.Nodes), uint64(rec.PPN), uint64(rec.Msize))
+	meas, err := w.runner.MeasureCapped(cfg, w.mach.Net, topo, rec.Msize, seed, o.reps)
+	if err != nil {
+		return 0, fmt.Errorf("retrain: observing %s %dx%d m=%d: %w",
+			rec.Model, rec.Nodes, rec.PPN, rec.Msize, err)
+	}
+	t := meas.Median()
+	if len(o.memo) >= observerMemoCap {
+		o.memo = map[obsKey]float64{}
+		o.resets++
+	}
+	o.memo[k] = t
+	return t, nil
+}

@@ -55,6 +55,17 @@ type LoadgenOptions struct {
 	Nodes  []int
 	PPNs   []int
 	Msizes []int64
+	// ShiftAt, when > 0, switches workers to the Shift* instance pool once
+	// the run's global request counter passes it — a mid-run change in the
+	// traffic distribution, used by drift experiments to move load onto
+	// grid cells whose models have gone stale. A Shift* field left empty
+	// falls back to the corresponding base pool, and shifted instances must
+	// stay inside the served models' training envelope or the shift
+	// measures guardrail fallbacks, not model drift.
+	ShiftAt     int64
+	ShiftNodes  []int
+	ShiftPPNs   []int
+	ShiftMsizes []int64
 }
 
 // targets returns the base URLs the workers drive.
@@ -88,6 +99,11 @@ type LoadgenReport struct {
 	LatencyP90Us    float64  `json:"latency_p90_us"`
 	LatencyP99Us    float64  `json:"latency_p99_us"`
 	LatencyMaxUs    float64  `json:"latency_max_us"`
+	// ShiftAt / ShiftedRequests record a mid-run pool shift: the request
+	// count the shift was armed at and how many requests drew from the
+	// shifted pool.
+	ShiftAt         int64 `json:"shift_at,omitempty"`
+	ShiftedRequests int64 `json:"shifted_requests,omitempty"`
 	// Fleet embeds the router's /fleet/status (retry/hedge/breaker counters
 	// and per-replica state) when the first target serves one — the
 	// aggregate BENCH_serve.json then carries the fleet's own accounting
@@ -120,6 +136,17 @@ func (o *LoadgenOptions) defaults() {
 	if len(o.Msizes) == 0 {
 		o.Msizes = []int64{64, 1024, 16384, 262144}
 	}
+	if o.ShiftAt > 0 {
+		if len(o.ShiftNodes) == 0 {
+			o.ShiftNodes = o.Nodes
+		}
+		if len(o.ShiftPPNs) == 0 {
+			o.ShiftPPNs = o.PPNs
+		}
+		if len(o.ShiftMsizes) == 0 {
+			o.ShiftMsizes = o.Msizes
+		}
+	}
 }
 
 // loadgenWorker is one client goroutine's tally.
@@ -130,6 +157,7 @@ type loadgenWorker struct {
 	retries   int64
 	cached    int64
 	fallbacks int64
+	shifted   int64
 	latencies []float64 // seconds
 }
 
@@ -173,6 +201,7 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (LoadgenReport, error) {
 	deadline := time.Now().Add(opts.Duration)
 	targets := opts.targets()
 	workers := make([]loadgenWorker, opts.Workers)
+	var reqCount atomic.Int64 // global request counter driving the pool shift
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	for wi := 0; wi < opts.Workers; wi++ {
@@ -182,14 +211,19 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (LoadgenReport, error) {
 			w := &workers[wi]
 			base := targets[wi%len(targets)]
 			rng := sim.NewRNG(sim.Seed(opts.Seed, uint64(wi)))
+			nodes, ppns, msizes := opts.Nodes, opts.PPNs, opts.Msizes
 			draw := func() InstanceRequest {
 				return InstanceRequest{
-					Nodes: opts.Nodes[rng.Intn(len(opts.Nodes))],
-					PPN:   opts.PPNs[rng.Intn(len(opts.PPNs))],
-					Msize: opts.Msizes[rng.Intn(len(opts.Msizes))],
+					Nodes: nodes[rng.Intn(len(nodes))],
+					PPN:   ppns[rng.Intn(len(ppns))],
+					Msize: msizes[rng.Intn(len(msizes))],
 				}
 			}
 			for seq := 0; ctx.Err() == nil && time.Now().Before(deadline); seq++ {
+				if opts.ShiftAt > 0 && reqCount.Add(1) > opts.ShiftAt {
+					nodes, ppns, msizes = opts.ShiftNodes, opts.ShiftPPNs, opts.ShiftMsizes
+					w.shifted++
+				}
 				// Propagate a worker-scoped request id so every audit line
 				// and trace of this run points back at its generator.
 				reqID := fmt.Sprintf("lg%d-w%d-%d", opts.Seed, wi, seq)
@@ -270,8 +304,10 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (LoadgenReport, error) {
 		rep.Retries += workers[i].retries
 		rep.CachedHits += workers[i].cached
 		rep.Fallbacks += workers[i].fallbacks
+		rep.ShiftedRequests += workers[i].shifted
 		all = append(all, workers[i].latencies...)
 	}
+	rep.ShiftAt = opts.ShiftAt
 	if rep.Instances > 0 {
 		rep.CacheHitRatio = float64(rep.CachedHits) / float64(rep.Instances)
 	}

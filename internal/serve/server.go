@@ -94,6 +94,8 @@ type Server struct {
 	middleware   func(http.Handler) http.Handler
 	batchWorkers int
 	draining     atomic.Bool
+	retrainMu    sync.Mutex
+	retrainFn    func() any
 }
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -145,7 +147,31 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("/debug/traces", s.instrument("traces", s.handleTraces))
+	s.mux.Handle("/v1/retrain/status", s.instrument("retrain_status", s.handleRetrainStatus))
 	return s, nil
+}
+
+// SetRetrainStatus installs the status provider behind /v1/retrain/status.
+// The serving layer knows nothing about the retraining loop beyond this
+// callback — the loop lives in internal/retrain and reaches back into the
+// server only through ReloadPaths, keeping the dependency one-directional.
+func (s *Server) SetRetrainStatus(fn func() any) {
+	s.retrainMu.Lock()
+	s.retrainFn = fn
+	s.retrainMu.Unlock()
+}
+
+func (s *Server) handleRetrainStatus(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return s.writeError(w, http.StatusMethodNotAllowed, "GET the retrain status")
+	}
+	s.retrainMu.Lock()
+	fn := s.retrainFn
+	s.retrainMu.Unlock()
+	if fn == nil {
+		return s.writeError(w, http.StatusNotFound, "retraining loop not enabled (-retrain)")
+	}
+	return s.writeJSON(w, http.StatusOK, fn())
 }
 
 // Registry exposes the model registry (for in-process installs and tests).
