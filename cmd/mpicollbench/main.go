@@ -12,25 +12,37 @@
 // into the simulated machine; fault-perturbed caches are written under a
 // fault-specific tag so they never clobber the clean cache.
 //
+// Generation shards the measurement grid across -benchworkers workers
+// (default: GOMAXPROCS). Every cell's noise seed is derived from its content
+// and results are committed in grid order, so the caches, journals and
+// metrics are byte-identical at any worker count; -benchout generates one
+// dataset serially and in parallel, proves the identity with a byte compare,
+// and writes the wall-clock speedup report (BENCH_bench.json in CI).
+//
 // Usage:
 //
 //	mpicollbench -dataset d1 -scale mid -cache results/cache
 //	mpicollbench -dataset all -scale mid -cache results/cache
 //	mpicollbench -dataset d1 -scale smoke -faults "straggler:node=0,factor=4" -cache /tmp/cache
 //	mpicollbench -dataset d1 -scale mid -resume -cache results/cache
+//	mpicollbench -dataset d3 -scale mid -benchworkers 4 -benchout BENCH_bench.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"mpicollpred/internal/bench"
 	"mpicollpred/internal/dataset"
 	"mpicollpred/internal/fault"
 	"mpicollpred/internal/obs"
@@ -46,6 +58,9 @@ func main() {
 		maxSamples = flag.Int("max-samples", 0, "stop after this many fresh measurements (0 = no limit; for testing resume)")
 		retries    = flag.Int("outlier-retries", 0, "re-measurement budget for outlier repetitions (0 = off)")
 		outlierK   = flag.Float64("outlier-k", 0, "MAD multiple beyond which a repetition is an outlier (0 = default)")
+		workers    = flag.Int("benchworkers", 0, "measurement workers sharding the grid (0 = GOMAXPROCS); never changes results")
+		benchout   = flag.String("benchout", "", "generate serially and in parallel, verify byte-identity, write a speedup report here (single dataset only)")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -benchout: fail unless the parallel speedup reaches this factor (0 = report only)")
 		validate   = flag.Bool("validate", false, "validate the dataset after load/generate; exit nonzero on bad rows")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		quiet2     = flag.Bool("quiet", false, "alias for -q")
@@ -85,6 +100,15 @@ func main() {
 		names = []string{*name}
 	}
 
+	if *benchout != "" {
+		if *name == "all" {
+			log.Errorf("mpicollbench: -benchout needs exactly one -dataset, not 'all'")
+			os.Exit(2)
+		}
+		os.Exit(runBenchSelfCheck(log, *name, sc, plan, *retries, *outlierK,
+			*workers, *benchout, *minSpeedup))
+	}
+
 	// SIGINT/SIGTERM flip a flag the generator polls between measurements,
 	// so the journal is always left at a measurement boundary.
 	var interrupted atomic.Bool
@@ -98,7 +122,7 @@ func main() {
 
 	exitCode := 0
 	for _, n := range names {
-		code := runOne(log, n, sc, *cache, plan, *resume, *maxSamples, *retries, *outlierK, *validate, &interrupted)
+		code := runOne(log, n, sc, *cache, plan, *resume, *maxSamples, *retries, *outlierK, *workers, *validate, &interrupted)
 		if code != 0 {
 			exitCode = code
 			break
@@ -119,7 +143,7 @@ func main() {
 // 1 on error, 3 on validation failure.
 func runOne(log *obs.Logger, name string, sc dataset.Scale, cache string,
 	plan *fault.Plan, resume bool, maxSamples, retries int, outlierK float64,
-	validate bool, interrupted *atomic.Bool) int {
+	workers int, validate bool, interrupted *atomic.Bool) int {
 
 	start := time.Now()
 	spec, err := dataset.SpecByName(name, sc)
@@ -148,6 +172,7 @@ func runOne(log *obs.Logger, name string, sc dataset.Scale, cache string,
 		opts.Faults = plan
 		opts.OutlierRetries = retries
 		opts.OutlierK = outlierK
+		opts.Workers = workers
 
 		fresh := 0
 		stop := func() bool {
@@ -190,6 +215,108 @@ func runOne(log *obs.Logger, name string, sc dataset.Scale, cache string,
 		if len(rep.Bad) > 0 {
 			return 3
 		}
+	}
+	return 0
+}
+
+// benchReport is what -benchout writes (BENCH_bench.json in CI).
+type benchReport struct {
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	Samples int    `json:"samples"`
+	Workers int    `json:"workers"`
+	// SerialSeconds and ParallelSeconds are the wall-clock generation times
+	// of the two legs; Speedup is their ratio.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// CSVIdentical reports whether the two legs produced byte-identical CSV
+	// encodings — the determinism guarantee of the sharded sweep.
+	CSVIdentical bool `json:"csv_identical"`
+}
+
+// runBenchSelfCheck generates one dataset twice — serially, then sharded
+// across the requested workers — verifies the two CSV encodings are
+// byte-identical, and writes the wall-clock speedup report. A byte mismatch
+// is a determinism bug and fails the run; minSpeedup > 0 additionally gates
+// on the measured speedup (left off by default so single-core dev containers
+// still pass).
+func runBenchSelfCheck(log *obs.Logger, name string, sc dataset.Scale,
+	plan *fault.Plan, retries int, outlierK float64, workers int,
+	out string, minSpeedup float64) int {
+
+	spec, err := dataset.SpecByName(name, sc)
+	if err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	rep := benchReport{Dataset: name, Scale: string(sc), Workers: workers}
+	if rep.Workers <= 0 {
+		rep.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	gen := func(workers int) (*dataset.Dataset, float64, error) {
+		opts := dataset.DefaultGenOptions(spec, sc)
+		opts.Faults = plan
+		opts.OutlierRetries = retries
+		opts.OutlierK = outlierK
+		opts.Workers = workers
+		// Each leg gets its own metrics registry so the self-check does not
+		// double-count the default registry.
+		opts.Metrics = bench.NewMetrics(obs.NewRegistry(), obs.Labels{"dataset": name})
+		start := time.Now()
+		d, err := dataset.Generate(spec, opts, nil)
+		return d, time.Since(start).Seconds(), err
+	}
+
+	log.Infof("benchout: serial leg (%s/%s, 1 worker)", name, sc)
+	serial, serialElapsed, err := gen(1)
+	if err != nil {
+		log.Errorf("mpicollbench: benchout serial leg: %v", err)
+		return 1
+	}
+	log.Infof("benchout: parallel leg (%d workers)", rep.Workers)
+	parallel, parallelElapsed, err := gen(rep.Workers)
+	if err != nil {
+		log.Errorf("mpicollbench: benchout parallel leg: %v", err)
+		return 1
+	}
+
+	var sbuf, pbuf bytes.Buffer
+	if err := serial.WriteCSV(&sbuf); err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	if err := parallel.WriteCSV(&pbuf); err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	rep.Samples = len(serial.Samples)
+	rep.SerialSeconds, rep.ParallelSeconds = serialElapsed, parallelElapsed
+	if parallelElapsed > 0 {
+		rep.Speedup = serialElapsed / parallelElapsed
+	}
+	rep.CSVIdentical = bytes.Equal(sbuf.Bytes(), pbuf.Bytes())
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Errorf("mpicollbench: %v", err)
+		return 1
+	}
+	log.Infof("benchout: serial %.3gs, parallel %.3gs at %d workers -> %.2fx, identical=%v -> %s",
+		rep.SerialSeconds, rep.ParallelSeconds, rep.Workers, rep.Speedup, rep.CSVIdentical, out)
+	if !rep.CSVIdentical {
+		log.Errorf("mpicollbench: parallel generation is not byte-identical to serial generation")
+		return 1
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		log.Errorf("mpicollbench: speedup %.2fx below the -min-speedup %.2fx floor", rep.Speedup, minSpeedup)
+		return 1
 	}
 	return 0
 }

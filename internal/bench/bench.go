@@ -47,6 +47,12 @@ type Options struct {
 	// OutlierK is the MAD multiple beyond which a repetition counts as an
 	// outlier; <= 0 selects DefaultOutlierK.
 	OutlierK float64
+	// Workers caps the number of concurrent measurement workers a Sweep may
+	// use; <= 0 selects runtime.GOMAXPROCS(0). Every cell's noise stream is
+	// derived from content, results are committed in cell order, and metrics
+	// are recorded at commit time, so the worker count never changes any
+	// output — it is deliberately excluded from the resume-journal identity.
+	Workers int
 }
 
 // DefaultOutlierK is the outlier threshold in normalized-MAD units used when
@@ -69,8 +75,13 @@ func DefaultOptions(machineName string) Options {
 // Measurement is the result of benchmarking one configuration on one
 // instance.
 type Measurement struct {
-	Times    []float64 // per-repetition makespans, in seconds
-	Consumed float64   // total simulated time spent, including all reps
+	// Times holds the per-repetition makespans, in seconds. It must not be
+	// mutated in place once the Measurement has been produced: quantile
+	// queries are served from a sorted cache, and an in-place write would
+	// leave that cache stale. In-package code replaces repetitions through
+	// replaceTime, which invalidates the cache.
+	Times    []float64
+	Consumed float64 // total simulated time spent, including all reps
 	// Exhausted reports whether the time budget stopped the loop before
 	// MaxReps repetitions completed.
 	Exhausted bool
@@ -103,6 +114,16 @@ func (m Measurement) sortedTimes() []float64 {
 func (m *Measurement) finalize() {
 	m.sorted = append([]float64(nil), m.Times...)
 	sort.Float64s(m.sorted)
+}
+
+// replaceTime substitutes the time of repetition i and invalidates the
+// sorted cache. sortedTimes validates its cache by length alone, so a bare
+// in-place write after finalize would keep serving the pre-replacement order
+// statistics (quantiles, winsorized means, MAD); all in-package mutation
+// goes through here.
+func (m *Measurement) replaceTime(i int, t float64) {
+	m.Times[i] = t
+	m.sorted = nil
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the repetition times with
@@ -254,6 +275,10 @@ type Runner struct {
 	eng   *sim.Engine
 	opts  Options
 	start []float64
+	// prog is the recycled schedule storage: successive measurements rebuild
+	// their op lists into the same backing arrays, so a sweep of thousands
+	// of cells does not churn the GC with per-cell op-slice allocations.
+	prog *sim.Program
 }
 
 // NewRunner returns a Runner with the given options.
@@ -282,7 +307,8 @@ func (r *Runner) MeasureCapped(cfg mpilib.Config, prm netmodel.Params, topo netm
 	if maxReps < 1 {
 		maxReps = 1
 	}
-	prog := mpilib.BuildProgram(cfg, topo, m, false)
+	r.prog = mpilib.BuildProgramInto(r.prog, cfg, topo, m, false)
+	prog := r.prog
 	p := topo.P()
 	if cap(r.start) < p {
 		r.start = make([]float64, p)
@@ -361,7 +387,7 @@ func (r *Runner) retryOutliers(meas *Measurement, prog *sim.Program, model *netm
 		if err != nil {
 			return err
 		}
-		meas.Times[idx] = t
+		meas.replaceTime(idx, t)
 		meas.Consumed += t
 		meas.Retried++
 	}

@@ -5,6 +5,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 
 	"mpicollpred/internal/bench"
@@ -194,6 +195,12 @@ type sampleKey struct {
 // Because every sample's noise seed depends only on (dataset, config,
 // instance) — never on loop order — replayed and freshly measured samples
 // compose into a dataset bit-identical to an uninterrupted run.
+//
+// The grid is enumerated in the canonical nodes → ppn → msize → config order
+// into a flat cell list, then measured by bench.Sweep across
+// opts.Workers workers. Sweep commits results in cell order from this
+// goroutine, so samples, journal appends, metrics accounting and progress
+// callbacks are byte-for-byte those of a serial loop at any worker count.
 func generate(spec Spec, opts bench.Options, progress func(done, total int), ctl genControl) (*Dataset, error) {
 	mach, set, err := spec.Resolve()
 	if err != nil {
@@ -206,9 +213,18 @@ func generate(spec Spec, opts bench.Options, progress func(done, total int), ctl
 		})
 	}
 	ds := &Dataset{Spec: spec}
-	runner := bench.NewRunner(opts)
-	total := spec.NumInstances() * len(set.Configs)
-	done := 0
+
+	// One grid cell: either a fresh measurement (described by cells[i]) or a
+	// sample replayed from an interrupted run (replays[i], with Skip set).
+	type cellMeta struct {
+		cfgID, algID, n, ppn int
+		m                    int64
+	}
+	var (
+		cells   []bench.Cell
+		metas   []cellMeta
+		replays []Sample
+	)
 	for _, n := range spec.Nodes {
 		for _, ppn := range spec.PPNs {
 			topo, err := mach.Topo(n, ppn)
@@ -218,44 +234,65 @@ func generate(spec Spec, opts bench.Options, progress func(done, total int), ctl
 			for _, m := range spec.Msizes {
 				reps := adaptReps(opts.MaxReps, spec.Coll, topo.P(), m)
 				for _, cfg := range set.Configs {
+					metas = append(metas, cellMeta{cfg.ID, cfg.AlgID, n, ppn, m})
 					if s, ok := ctl.recorded[sampleKey{cfg.ID, n, ppn, m}]; ok {
-						ds.Samples = append(ds.Samples, s)
-						ds.Consumed += s.Consumed
-						if ctl.reused != nil {
-							*ctl.reused++
-						}
-						done++
+						cells = append(cells, bench.Cell{Skip: true})
+						replays = append(replays, s)
 						continue
-					}
-					if ctl.stop != nil && ctl.stop() {
-						return nil, ErrInterrupted
 					}
 					seed := sim.Seed(nameSeed(spec.Name),
 						uint64(cfg.ID), uint64(n), uint64(ppn), uint64(m))
-					meas, err := runner.MeasureCapped(cfg, mach.Net, topo, m, seed, reps)
-					if err != nil {
-						return nil, fmt.Errorf("dataset %s: %w", spec.Name, err)
-					}
-					s := Sample{
-						ConfigID: cfg.ID, AlgID: cfg.AlgID,
-						Nodes: n, PPN: ppn, Msize: m,
-						Time: meas.Median(), Reps: meas.Reps(),
-						Consumed: meas.Consumed, Exhausted: meas.Exhausted,
-					}
-					if ctl.record != nil {
-						if err := ctl.record(s); err != nil {
-							return nil, fmt.Errorf("dataset %s: journal: %w", spec.Name, err)
-						}
-					}
-					ds.Samples = append(ds.Samples, s)
-					ds.Consumed += meas.Consumed
-					done++
-				}
-				if progress != nil {
-					progress(done, total)
+					cells = append(cells, bench.Cell{
+						Cfg: cfg, Net: mach.Net, Topo: topo,
+						Msize: m, Seed: seed, MaxReps: reps,
+					})
+					replays = append(replays, Sample{})
 				}
 			}
 		}
+	}
+
+	total := len(cells)
+	done := 0
+	var cbErr error
+	commit := func(i int, meas bench.Measurement) error {
+		var s Sample
+		if cells[i].Skip {
+			s = replays[i]
+			if ctl.reused != nil {
+				*ctl.reused++
+			}
+		} else {
+			mm := metas[i]
+			s = Sample{
+				ConfigID: mm.cfgID, AlgID: mm.algID,
+				Nodes: mm.n, PPN: mm.ppn, Msize: mm.m,
+				Time: meas.Median(), Reps: meas.Reps(),
+				Consumed: meas.Consumed, Exhausted: meas.Exhausted,
+			}
+			if ctl.record != nil {
+				if err := ctl.record(s); err != nil {
+					cbErr = fmt.Errorf("dataset %s: journal: %w", spec.Name, err)
+					return cbErr
+				}
+			}
+		}
+		ds.Samples = append(ds.Samples, s)
+		ds.Consumed += s.Consumed
+		done++
+		if progress != nil && done%len(set.Configs) == 0 {
+			progress(done, total)
+		}
+		return nil
+	}
+	if err := bench.Sweep(cells, opts, ctl.stop, commit); err != nil {
+		if errors.Is(err, bench.ErrSweepStopped) {
+			return nil, ErrInterrupted
+		}
+		if err == cbErr {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dataset %s: %w", spec.Name, err)
 	}
 	ds.buildIndex()
 	return ds, nil

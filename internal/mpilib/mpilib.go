@@ -163,6 +163,16 @@ func BuildProgram(c Config, topo netmodel.Topology, m int64, verify bool) *sim.P
 	return b.Build()
 }
 
+// BuildProgramInto is BuildProgram reusing the backing arrays of scratch (a
+// Program returned by an earlier call, no longer in use); it avoids per-cell
+// op-slice allocations in measurement sweeps. A nil scratch behaves exactly
+// like BuildProgram. The returned Program aliases scratch's storage.
+func BuildProgramInto(scratch *sim.Program, c Config, topo netmodel.Topology, m int64, verify bool) *sim.Program {
+	b := sim.RecycleBuilder(scratch, topo.P(), verify)
+	c.Gen(b, topo, m, c.Params)
+	return b.Build()
+}
+
 // SimulateOnce runs configuration c once on the given network parameters and
 // returns the makespan. It is the primitive used both by the benchmark
 // harness and by the Intel-style tuning-table construction.

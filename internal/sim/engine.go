@@ -175,7 +175,23 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 		e.recvPeer[i] = -1
 	}
 	e.heap = e.heap[:0]
-	e.pairs = make(map[uint64]*pairState, 64)
+	// The pair map is pooled across runs: collective sweeps execute many
+	// programs back to back on one engine, and reallocating the map plus its
+	// inflight message records every run dominated the per-cell GC churn.
+	// Each retained pairState is reset to its logical zero (empty inflight
+	// queue, no parked receiver) so no message or receiver state can leak
+	// into the next run; the inflight backing arrays keep their capacity.
+	if e.pairs == nil {
+		e.pairs = make(map[uint64]*pairState, 64)
+	} else {
+		for _, ps := range e.pairs {
+			ps.inflight = ps.inflight[:0]
+			ps.head = 0
+			ps.waiting = false
+			ps.recvPost = 0
+			ps.recvBytes = 0
+		}
+	}
 	e.prog = prog
 	e.model = model
 	e.obs = obs
@@ -230,7 +246,7 @@ func (e *Engine) Run(prog *Program, model CostModel, start []float64, obs Observ
 			if !advanced {
 				break // blocked; woken later
 			}
-			if len(e.heap) > 0 && math.Float64bits(e.clock[r]) > e.heap[0].tb {
+			if len(e.heap) > 0 && timeBits(e.clock[r]) > e.heap[0].tb {
 				e.heap.push(e.clock[r], r32)
 				break
 			}
@@ -477,14 +493,41 @@ func maxf(a, b float64) float64 {
 type timeHeap []heapEntry
 
 type heapEntry struct {
-	tb uint64 // math.Float64bits(time); valid because times are >= 0
+	tb uint64 // timeBits(time): an order-preserving encoding, see below
 	r  int32
+}
+
+// timeBits maps a float64 time to a uint64 whose unsigned ordering matches
+// the float ordering for every non-NaN value, including negatives: the sign
+// bit is flipped for non-negative values and all bits are flipped for
+// negative ones. Raw math.Float64bits ordering is only valid for t >= 0,
+// and fault plans apply clock-outlier adjustments to rank start times — a
+// negative start must not silently reorder the event heap. NaN has no place
+// in a simulated clock at all and is rejected outright.
+func timeBits(t float64) uint64 {
+	if math.IsNaN(t) {
+		//mpicollvet:ignore panicguard scheduler invariant: a NaN event time means a cost model returned garbage; continuing would order events arbitrarily
+		panic("sim: NaN event time pushed to scheduler heap")
+	}
+	b := math.Float64bits(t)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// timeFromBits inverts timeBits.
+func timeFromBits(b uint64) float64 {
+	if b&(1<<63) != 0 {
+		return math.Float64frombits(b &^ (1 << 63))
+	}
+	return math.Float64frombits(^b)
 }
 
 const heapArity = 4
 
 func (h *timeHeap) push(t float64, r int32) {
-	*h = append(*h, heapEntry{math.Float64bits(t), r})
+	*h = append(*h, heapEntry{timeBits(t), r})
 	hh := *h
 	i := len(hh) - 1
 	e := hh[i]
@@ -532,7 +575,7 @@ func (h *timeHeap) pop() (float64, int32) {
 	if n > 0 {
 		hh[i] = e
 	}
-	return math.Float64frombits(top.tb), top.r
+	return timeFromBits(top.tb), top.r
 }
 
 func less(a, b heapEntry) bool {

@@ -316,16 +316,17 @@ func TestRelayChainTimingScalesWithHops(t *testing.T) {
 }
 
 func TestHeapPropertyQuick(t *testing.T) {
-	// Simulated times are always non-negative (the heap key packs them as
-	// IEEE-754 bits, whose ordering matches float ordering only on
-	// non-negative values).
+	// The heap key is an order-preserving bit encoding (timeBits), so the
+	// property must hold for negative times too — fault plans apply
+	// clock-outlier adjustments to start times, and a negative time must
+	// order before every non-negative one.
 	f := func(ts []float64) bool {
 		var h timeHeap
 		for i, v := range ts {
 			if math.IsNaN(v) {
 				v = 0
 			}
-			h.push(math.Abs(v), int32(i))
+			h.push(v, int32(i))
 		}
 		prev := math.Inf(-1)
 		for len(h) > 0 {
@@ -339,6 +340,97 @@ func TestHeapPropertyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestHeapOrdersNegativeTimes(t *testing.T) {
+	// Regression: raw math.Float64bits ordering inverts for negative values
+	// (sign-magnitude bits), so a heap keyed on it silently popped negative
+	// times LAST. timeBits must keep the true ascending order.
+	var h timeHeap
+	in := []float64{0.5, -1.5, 0, -0.25, 2, -3, math.Inf(1), math.Inf(-1)}
+	for i, v := range in {
+		h.push(v, int32(i))
+	}
+	want := []float64{math.Inf(-1), -3, -1.5, -0.25, 0, 0.5, 2, math.Inf(1)}
+	for i, w := range want {
+		got, _ := h.pop()
+		if got != w {
+			t.Fatalf("pop %d = %v, want %v (negative times reordered)", i, got, w)
+		}
+	}
+}
+
+func TestHeapRoundTripsTimeBits(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			v = 0
+		}
+		return timeFromBits(timeBits(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapRejectsNaNTime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pushing a NaN time must panic, not silently mis-order the heap")
+		}
+	}()
+	var h timeHeap
+	h.push(math.NaN(), 0)
+}
+
+// postOrderModel wraps testModel and records the posting time of every
+// eager send, to verify the Engine honors the CostModel contract ("Send
+// methods are called in nondecreasing simulated-time order of the posting
+// events") — the property the raw-Float64bits heap silently broke for
+// negative times.
+type postOrderModel struct {
+	*testModel
+	posts []float64
+}
+
+func (m *postOrderModel) SendEager(src, dst int32, bytes uint32, t float64) (float64, float64) {
+	m.posts = append(m.posts, t)
+	return m.testModel.SendEager(src, dst, bytes, t)
+}
+
+func TestNegativeStartTimesKeepSendOrder(t *testing.T) {
+	// Three independent eager senders starting at 0, -1 and -2 (clock
+	// outliers can shift rank starts below zero). Stateful cost models
+	// (per-node NIC availability) depend on being called in true time
+	// order; under the old heap encoding the pop order was exactly
+	// inverted for negative times.
+	b := NewBuilder(6, false)
+	for r := 0; r < 3; r++ {
+		b.Send(r, r+3, 100)
+		b.Recv(r+3, r, 100)
+	}
+	m := &postOrderModel{testModel: newTestModel()}
+	res, err := NewEngine().Run(b.Build(), m, []float64{0, -1, -2, 0, 0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.posts) != 3 {
+		t.Fatalf("recorded %d sends, want 3", len(m.posts))
+	}
+	for i := 1; i < len(m.posts); i++ {
+		if m.posts[i] < m.posts[i-1] {
+			t.Fatalf("sends posted out of time order: %v", m.posts)
+		}
+	}
+	// The makespan is measured from the earliest (negative) start.
+	wantTime := res.Finish[3] - (-2.0) // slowest receiver minus min start
+	for _, f := range res.Finish {
+		if f > res.Finish[3]+1e-12 {
+			wantTime = f - (-2.0)
+		}
+	}
+	if math.Abs(res.Time-wantTime) > 1e-9 {
+		t.Errorf("makespan %v not measured from the earliest start (want %v)", res.Time, wantTime)
 	}
 }
 

@@ -94,6 +94,31 @@ func NewBuilder(p int, verify bool) *Builder {
 	return b
 }
 
+// RecycleBuilder returns a Builder for p ranks that reuses the backing
+// arrays of a previously built Program, so sweeps that build one schedule
+// after another do not reallocate per-rank op lists each time. The recycled
+// Program must no longer be in use: the new schedule overwrites it in place.
+// A nil prog is equivalent to NewBuilder.
+func RecycleBuilder(prog *Program, p int, verify bool) *Builder {
+	if prog == nil {
+		return NewBuilder(p, verify)
+	}
+	b := &Builder{verify: verify}
+	ranks := prog.Ranks
+	if cap(ranks) < p {
+		grown := make([][]Op, p)
+		copy(grown, ranks)
+		ranks = grown
+	}
+	ranks = ranks[:p]
+	for r := range ranks {
+		ranks[r] = ranks[r][:0]
+	}
+	b.prog.Ranks = ranks
+	b.prog.Pay = prog.Pay[:0]
+	return b
+}
+
 // P returns the number of ranks of the program under construction.
 func (b *Builder) P() int { return len(b.prog.Ranks) }
 
